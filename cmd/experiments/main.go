@@ -1,0 +1,71 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Examples:
+//
+//	experiments -run all
+//	experiments -run fig7,fig8
+//	experiments -run fig9 -cycles 40000 -parallel 8
+//	experiments -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gpgpunoc/internal/experiments"
+)
+
+func main() {
+	var (
+		run       = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
+		list      = flag.Bool("list", false, "list available experiments and exit")
+		benchmark = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all 25)")
+		cycles    = flag.Int("cycles", 0, "measurement cycles override")
+		warmup    = flag.Int("warmup", 0, "warmup cycles override")
+		parallel  = flag.Int("parallel", 0, "worker goroutines (default GOMAXPROCS)")
+		seed      = flag.Uint64("seed", 0, "seed override")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.Runners() {
+			fmt.Printf("%-10s %s\n", r.ID, r.Desc)
+		}
+		return
+	}
+
+	opts := experiments.Opts{
+		MeasureCycles: *cycles,
+		WarmupCycles:  *warmup,
+		Parallel:      *parallel,
+		Seed:          *seed,
+	}
+	if *benchmark != "" {
+		opts.Benchmarks = strings.Split(*benchmark, ",")
+	}
+
+	var ids []string
+	if *run == "all" {
+		for _, r := range experiments.Runners() {
+			ids = append(ids, r.ID)
+		}
+	} else {
+		ids = strings.Split(*run, ",")
+	}
+
+	for _, id := range ids {
+		r, err := experiments.ByID(strings.TrimSpace(id))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		t, err := r.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", r.ID, err)
+			os.Exit(1)
+		}
+		t.Fprint(os.Stdout)
+	}
+}

@@ -1,0 +1,71 @@
+// Command hopcalc evaluates the Section 3.1.2 hop-count analysis: Table 1's
+// closed forms next to exact Equation 3 enumeration, for the 8x8 system and
+// an optional mesh-size sweep.
+//
+// Examples:
+//
+//	hopcalc
+//	hopcalc -sweep 4,8,12,16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"gpgpunoc/internal/config"
+	"gpgpunoc/internal/experiments"
+	"gpgpunoc/internal/mesh"
+	"gpgpunoc/internal/placement"
+)
+
+func main() {
+	sweep := flag.String("sweep", "", "comma-separated mesh sizes N (NxN mesh, N MCs) to sweep")
+	flag.Parse()
+
+	t, err := experiments.Table1()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	t.Fprint(os.Stdout)
+
+	if *sweep == "" {
+		return
+	}
+	fmt.Println("Average hops (exact Eq.3) across mesh sizes:")
+	fmt.Printf("%-12s", "N")
+	schemes := []config.Placement{
+		config.PlacementBottom, config.PlacementEdge,
+		config.PlacementTopBottom, config.PlacementDiamond,
+	}
+	for _, s := range schemes {
+		fmt.Printf("%12s", s)
+	}
+	fmt.Println()
+	for _, ns := range strings.Split(*sweep, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(ns))
+		if err != nil || n < 4 {
+			fmt.Fprintf(os.Stderr, "bad mesh size %q\n", ns)
+			os.Exit(1)
+		}
+		fmt.Printf("%-12d", n)
+		m := mesh.New(n, n)
+		for _, s := range schemes {
+			k := n
+			if s == config.PlacementEdge {
+				k = 4 * (n / 4)
+			}
+			pl, err := placement.New(s, m, k)
+			if err != nil {
+				fmt.Printf("%12s", "-")
+				continue
+			}
+			avg, _, _ := pl.AverageHops()
+			fmt.Printf("%12.3f", avg)
+		}
+		fmt.Println()
+	}
+}

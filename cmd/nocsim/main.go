@@ -1,0 +1,128 @@
+// Command nocsim runs one full-GPU simulation and prints the headline
+// metrics: IPC, cache behaviour, network throughput and latency.
+//
+// Examples:
+//
+//	nocsim -bench KMN
+//	nocsim -bench BFS -placement diamond -routing xy -vcpolicy partial
+//	nocsim -bench RAY -routing yx -vcpolicy monopolized -cycles 50000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gpgpunoc/internal/config"
+	"gpgpunoc/internal/experiments"
+	"gpgpunoc/internal/gpu"
+	"gpgpunoc/internal/noc"
+	"gpgpunoc/internal/trace"
+	"gpgpunoc/internal/workload"
+)
+
+func main() {
+	var (
+		bench     = flag.String("bench", "KMN", "benchmark name ("+strings.Join(workload.Names(), ",")+")")
+		placement = flag.String("placement", "bottom", "MC placement: bottom, top, edge, top-bottom, diamond")
+		routing   = flag.String("routing", "xy", "routing algorithm: xy, yx, xy-yx")
+		vcpolicy  = flag.String("vcpolicy", "split", "VC policy: split, asymmetric, monopolized, partial, shared")
+		vcs       = flag.Int("vcs", 2, "virtual channels per port")
+		depth     = flag.Int("depth", 4, "VC buffer depth in flits")
+		reqVCs    = flag.Int("reqvcs", 1, "request VCs under the asymmetric policy")
+		cycles    = flag.Int("cycles", 20000, "measurement cycles")
+		warmup    = flag.Int("warmup", 2000, "warmup cycles")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		dual      = flag.Bool("dual", false, "use two physical subnetworks instead of VC separation")
+		unsafe    = flag.Bool("allow-unsafe", false, "skip the protocol-deadlock safety check")
+		heatmap   = flag.Bool("heatmap", false, "print per-direction link utilization heatmaps")
+		linkCSV   = flag.String("linkcsv", "", "write per-link flit counts as CSV to this file")
+		traceCSV  = flag.String("trace", "", "write a packet/flit lifecycle trace as CSV to this file")
+		cfgFile   = flag.String("config", "", "load a JSON configuration file (flags override it)")
+	)
+	flag.Parse()
+
+	cfg := config.Default()
+	if *cfgFile != "" {
+		var err error
+		cfg, err = config.ReadFile(*cfgFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	cfg.Placement = config.Placement(*placement)
+	cfg.NoC.Routing = config.Routing(*routing)
+	cfg.NoC.VCPolicy = config.VCPolicy(*vcpolicy)
+	cfg.NoC.VCsPerPort = *vcs
+	cfg.NoC.VCDepth = *depth
+	cfg.NoC.AsymmetricRequestVCs = *reqVCs
+	cfg.NoC.PhysicalSubnets = *dual
+	cfg.MeasureCycles = *cycles
+	cfg.WarmupCycles = *warmup
+	cfg.Seed = *seed
+
+	prof, err := workload.Get(*bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	sim, err := gpu.New(cfg, prof, gpu.Options{AllowUnsafe: *unsafe})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var traceFlush func() error
+	if *traceCSV != "" {
+		net, ok := sim.Net.(*noc.Network)
+		if !ok {
+			fmt.Fprintln(os.Stderr, "tracing is not supported with -dual")
+			os.Exit(1)
+		}
+		f, err := os.Create(*traceCSV)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		cw := trace.NewCSVWriter(f)
+		net.SetTracer(cw)
+		traceFlush = func() error {
+			if err := cw.Flush(); err != nil {
+				return err
+			}
+			return f.Close()
+		}
+	}
+	res := sim.Run()
+	if traceFlush != nil {
+		if err := traceFlush(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	fmt.Println(experiments.Summary(res))
+	if *heatmap {
+		fmt.Println()
+		res.Net.Heatmap(os.Stdout)
+	}
+	if *linkCSV != "" {
+		f, err := os.Create(*linkCSV)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := res.Net.WriteLinkCSV(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if res.Deadlocked {
+		fmt.Println("\nthe configuration protocol-deadlocked; run with a safe VC policy (split/asymmetric/partial)")
+		os.Exit(2)
+	}
+}

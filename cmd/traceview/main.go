@@ -1,0 +1,58 @@
+// Command traceview summarizes a packet trace produced by
+// `nocsim -trace <file>`: per-type delivery counts and latencies, plus the
+// head-flit hop histogram.
+//
+// Example:
+//
+//	nocsim -bench KMN -cycles 5000 -trace /tmp/kmn.csv
+//	traceview /tmp/kmn.csv
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"gpgpunoc/internal/packet"
+	"gpgpunoc/internal/trace"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: traceview <trace.csv>")
+		os.Exit(2)
+	}
+	f, err := os.Open(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	c, err := trace.ParseCSV(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	s := c.Summarize()
+	fmt.Printf("%d events\n\n", len(c.Events))
+	fmt.Printf("%-14s %10s %12s %10s\n", "type", "delivered", "mean lat", "max lat")
+	for t := packet.Type(0); t < packet.NumTypes; t++ {
+		if s.Delivered[t] == 0 {
+			continue
+		}
+		fmt.Printf("%-14s %10d %12.1f %10d\n", t, s.Delivered[t], s.MeanLat[t], s.MaxLat[t])
+	}
+
+	if len(s.Hops) > 0 {
+		fmt.Println("\nhead-flit hops per packet:")
+		var hops []int
+		for h := range s.Hops {
+			hops = append(hops, h)
+		}
+		sort.Ints(hops)
+		for _, h := range hops {
+			fmt.Printf("  %2d hops: %d packets\n", h, s.Hops[h])
+		}
+	}
+}

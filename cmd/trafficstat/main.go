@@ -1,0 +1,42 @@
+// Command trafficstat characterizes GPGPU on-chip traffic per benchmark:
+// Figure 2 (request vs reply volumes) and Figure 3 (packet type
+// distribution) on the baseline system.
+//
+// Examples:
+//
+//	trafficstat
+//	trafficstat -benchmarks RAY,KMN,BFS -cycles 40000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gpgpunoc/internal/experiments"
+)
+
+func main() {
+	var (
+		benchmarks = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all)")
+		cycles     = flag.Int("cycles", 0, "measurement cycles override")
+		parallel   = flag.Int("parallel", 0, "worker goroutines")
+	)
+	flag.Parse()
+
+	opts := experiments.Opts{MeasureCycles: *cycles, Parallel: *parallel}
+	if *benchmarks != "" {
+		opts.Benchmarks = strings.Split(*benchmarks, ",")
+	}
+	for _, run := range []func(experiments.Opts) (*experiments.Table, error){
+		experiments.Fig2, experiments.Fig3,
+	} {
+		t, err := run(opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		t.Fprint(os.Stdout)
+	}
+}

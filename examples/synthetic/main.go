@@ -1,0 +1,49 @@
+// Synthetic sweep: a pure-NoC latency/throughput study — inject uniform
+// request traffic at increasing rates and plot delivered throughput and
+// reply latency per routing algorithm on the bottom placement.
+//
+//	go run ./examples/synthetic
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gpgpunoc/internal/config"
+	"gpgpunoc/internal/packet"
+	"gpgpunoc/internal/synthetic"
+)
+
+func main() {
+	rates := []float64{0.01, 0.02, 0.05, 0.10, 0.20, 0.40}
+	routings := []config.Routing{config.RoutingXY, config.RoutingYX, config.RoutingXYYX}
+
+	fmt.Println("throughput (flits/cycle) and mean reply network latency (cycles)")
+	fmt.Printf("%-8s", "rate")
+	for _, r := range routings {
+		fmt.Printf("%16s", r)
+	}
+	fmt.Println()
+
+	for _, rate := range rates {
+		fmt.Printf("%-8.2f", rate)
+		for _, r := range routings {
+			p := synthetic.DefaultParams()
+			p.NoC.Routing = r
+			p.InjectionRate = rate
+			h, err := synthetic.New(p)
+			if err != nil {
+				log.Fatal(err)
+			}
+			st, dead := h.Run(2000, 10000)
+			if dead {
+				fmt.Printf("%16s", "DEADLOCK")
+				continue
+			}
+			fmt.Printf("%8.2f/%-7.0f", st.Throughput(), st.NetLatency[packet.Reply].Mean())
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nAt low rates the routings tie (zero-load latency); as the reply")
+	fmt.Println("network saturates, XY hits its MC-row bottleneck first.")
+}

@@ -1,0 +1,3 @@
+module gpgpunoc
+
+go 1.22

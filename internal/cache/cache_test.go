@@ -1,0 +1,217 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGeometry(t *testing.T) {
+	c := New(16<<10, 4, 128) // the Table 2 L1D
+	if c.Sets() != 32 || c.Ways() != 4 || c.LineBytes() != 128 {
+		t.Errorf("geometry = %d sets/%d ways/%dB", c.Sets(), c.Ways(), c.LineBytes())
+	}
+	c2 := New(64<<10, 8, 128) // the Table 2 L2 slice
+	if c2.Sets() != 64 {
+		t.Errorf("L2 sets = %d, want 64", c2.Sets())
+	}
+}
+
+func TestNewPanicsOnBadGeometry(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for non-integral sets")
+		}
+	}()
+	New(1000, 3, 128)
+}
+
+func TestHitAfterMiss(t *testing.T) {
+	c := New(4096, 4, 128)
+	if c.Access(0x1000, false).Hit {
+		t.Fatal("cold access hit")
+	}
+	if !c.Access(0x1000, false).Hit {
+		t.Fatal("second access missed")
+	}
+	// Same line, different offset.
+	if !c.Access(0x1040, false).Hit {
+		t.Fatal("same-line access missed")
+	}
+	if c.Hits != 2 || c.Misses != 1 {
+		t.Errorf("hits/misses = %d/%d", c.Hits, c.Misses)
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	c := New(4*128, 4, 128) // one set, four ways
+	for i := uint64(0); i < 4; i++ {
+		c.Access(i*128*uint64(c.Sets()), false)
+	}
+	// Touch line 0 to make line 1 the LRU victim.
+	c.Access(0, false)
+	c.Access(100*128, false) // new line evicts line 1
+	if !c.Probe(0) {
+		t.Error("recently used line evicted")
+	}
+	if c.Probe(128 * uint64(c.Sets())) {
+		t.Error("LRU line survived")
+	}
+}
+
+func TestDirtyEviction(t *testing.T) {
+	c := New(128, 1, 128) // a single line
+	res := c.Access(0, true)
+	if res.Hit || res.Eviction {
+		t.Fatalf("first write: %+v", res)
+	}
+	res = c.Access(128, false) // evicts the dirty line
+	if !res.Eviction || res.VictimAddr != 0 {
+		t.Fatalf("expected dirty eviction of line 0, got %+v", res)
+	}
+	res = c.Access(256, false) // evicts a CLEAN line: no write-back
+	if res.Eviction {
+		t.Fatalf("clean eviction reported dirty: %+v", res)
+	}
+}
+
+func TestVictimAddressReconstruction(t *testing.T) {
+	c := New(16<<10, 4, 128)
+	addr := uint64(0xabc00)
+	c.Access(addr, true)
+	// Fill the set to force eviction of addr.
+	setStride := uint64(c.Sets() * c.LineBytes())
+	var victim uint64
+	found := false
+	for i := uint64(1); i <= 4; i++ {
+		res := c.Access(addr+i*setStride, false)
+		if res.Eviction {
+			victim, found = res.VictimAddr, true
+		}
+	}
+	if !found {
+		t.Fatal("no eviction after overfilling the set")
+	}
+	if victim != addr&^uint64(127) {
+		t.Errorf("victim = %#x, want %#x", victim, addr&^uint64(127))
+	}
+}
+
+func TestProbeDoesNotTouch(t *testing.T) {
+	c := New(2*128, 2, 128) // one set, two ways
+	c.Access(0, false)
+	c.Access(2*128*uint64(c.Sets()), false) // second way... same set when sets=1
+	// Probing line 0 must not refresh LRU: after probing, line 0 is still
+	// the LRU victim.
+	c.Probe(0)
+	c.Access(5*128*uint64(c.Sets()), false)
+	if c.Probe(0) {
+		t.Error("probe refreshed LRU state")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := New(4096, 4, 128)
+	c.Access(0x80, true)
+	present, dirty := c.Invalidate(0x80)
+	if !present || !dirty {
+		t.Errorf("invalidate = %v,%v want true,true", present, dirty)
+	}
+	if c.Probe(0x80) {
+		t.Error("line still present after invalidate")
+	}
+	present, _ = c.Invalidate(0x80)
+	if present {
+		t.Error("double invalidate reported present")
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	c := New(4096, 4, 128)
+	c.Access(0, false)
+	c.Access(0, false)
+	c.Access(0, false)
+	c.Access(4096*10, false)
+	if mr := c.MissRate(); mr != 0.5 {
+		t.Errorf("miss rate = %v, want 0.5", mr)
+	}
+}
+
+// TestCacheNeverExceedsCapacityProperty: after any access sequence, the
+// number of resident lines never exceeds sets*ways.
+func TestCacheNeverExceedsCapacityProperty(t *testing.T) {
+	f := func(addrs []uint16) bool {
+		c := New(1024, 2, 64) // 16 lines
+		resident := map[uint64]bool{}
+		for _, a := range addrs {
+			addr := uint64(a) * 64
+			res := c.Access(addr, a%3 == 0)
+			line := addr &^ 63
+			resident[line] = true
+			if res.Eviction {
+				delete(resident, res.VictimAddr)
+			}
+			if !c.Probe(addr) {
+				return false // just-installed line must be present
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMSHRMerge(t *testing.T) {
+	m := NewMSHR(4)
+	if got := m.Allocate(0x100, 1); got != Primary {
+		t.Fatalf("first allocate = %v", got)
+	}
+	if got := m.Allocate(0x100, 2); got != Merged {
+		t.Fatalf("second allocate = %v", got)
+	}
+	if !m.Lookup(0x100) || m.Occupancy() != 1 {
+		t.Error("lookup/occupancy wrong after merge")
+	}
+	waiters := m.Fill(0x100)
+	if len(waiters) != 2 || waiters[0] != 1 || waiters[1] != 2 {
+		t.Errorf("waiters = %v", waiters)
+	}
+	if m.Lookup(0x100) || m.Occupancy() != 0 {
+		t.Error("entry survived fill")
+	}
+}
+
+func TestMSHRCapacity(t *testing.T) {
+	m := NewMSHR(2)
+	m.Allocate(0x100, 0)
+	m.Allocate(0x200, 0)
+	if !m.Full() {
+		t.Error("MSHR should be full")
+	}
+	if got := m.Allocate(0x300, 0); got != Stall {
+		t.Errorf("over-capacity allocate = %v, want Stall", got)
+	}
+	// Merging into an existing entry still works at capacity.
+	if got := m.Allocate(0x200, 1); got != Merged {
+		t.Errorf("merge at capacity = %v, want Merged", got)
+	}
+}
+
+func TestMSHRMergeLimit(t *testing.T) {
+	m := NewMSHR(4)
+	m.MaxMerged = 2
+	m.Allocate(0x100, 0)
+	m.Allocate(0x100, 1)
+	if got := m.Allocate(0x100, 2); got != Stall {
+		t.Errorf("over-merge = %v, want Stall", got)
+	}
+}
+
+func TestMSHRFillPanicsWithoutEntry(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("fill without entry did not panic")
+		}
+	}()
+	NewMSHR(2).Fill(0xdead)
+}

@@ -1,0 +1,52 @@
+package config
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// JSON/file helpers let experiment configurations be stored beside their
+// results and replayed exactly. The JSON form is the struct itself; these
+// helpers add validation at the boundary so a hand-edited file fails fast
+// with a clear message instead of mis-simulating.
+
+// WriteFile saves the configuration as indented JSON.
+func (c Config) WriteFile(path string) error {
+	if err := c.Validate(); err != nil {
+		return fmt.Errorf("config: refusing to save invalid config: %w", err)
+	}
+	data, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadFile loads and validates a configuration saved by WriteFile. Fields
+// absent from the file keep the Default() values, so partial files are
+// usable as overrides.
+func ReadFile(path string) (Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Config{}, err
+	}
+	return Parse(data)
+}
+
+// Parse decodes a JSON configuration over Default() and validates it.
+// Unknown fields are rejected: a typo in an override must not silently fall
+// back to the default.
+func Parse(data []byte) (Config, error) {
+	c := Default()
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&c); err != nil {
+		return Config{}, fmt.Errorf("config: %w", err)
+	}
+	if err := c.Validate(); err != nil {
+		return Config{}, err
+	}
+	return c, nil
+}

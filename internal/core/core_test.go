@@ -1,0 +1,228 @@
+package core
+
+import (
+	"testing"
+
+	"gpgpunoc/internal/config"
+	"gpgpunoc/internal/mesh"
+	"gpgpunoc/internal/packet"
+	"gpgpunoc/internal/placement"
+	"gpgpunoc/internal/routing"
+	"gpgpunoc/internal/vc"
+)
+
+var m8 = mesh.New(8, 8)
+
+func analyze(t *testing.T, pl config.Placement, rt config.Routing) *LinkUsage {
+	t.Helper()
+	p, err := placement.New(pl, m8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Analyze(m8, p, routing.MustNew(rt))
+}
+
+// TestBottomXYNoMixing mechanizes Figure 4: with bottom MCs and XY routing,
+// no directed link carries both classes, so full monopolization is safe.
+func TestBottomXYNoMixing(t *testing.T) {
+	u := analyze(t, config.PlacementBottom, config.RoutingXY)
+	if mixed := u.MixedLinks(); len(mixed) != 0 {
+		t.Fatalf("bottom+XY has %d mixed links (e.g. %v); paper says zero", len(mixed), mixed[0])
+	}
+	if v := u.Verdict(); v != FullMonopolizingSafe {
+		t.Errorf("verdict = %s, want full-monopolizing-safe", v)
+	}
+}
+
+func TestBottomYXNoMixing(t *testing.T) {
+	u := analyze(t, config.PlacementBottom, config.RoutingYX)
+	if len(u.MixedLinks()) != 0 {
+		t.Fatal("bottom+YX should have no mixed links")
+	}
+	if u.Verdict() != FullMonopolizingSafe {
+		t.Error("bottom+YX should allow full monopolizing")
+	}
+}
+
+// TestBottomXYYXHorizontalMixingOnly mechanizes Figure 6c: XY-YX mixes the
+// classes on horizontal links only, so vertical links may be monopolized.
+func TestBottomXYYXHorizontalMixingOnly(t *testing.T) {
+	u := analyze(t, config.PlacementBottom, config.RoutingXYYX)
+	h, v := u.MixedOrientations()
+	if !h {
+		t.Error("XY-YX should mix classes on horizontal links")
+	}
+	if v {
+		t.Error("XY-YX must not mix classes on vertical links")
+	}
+	if got := u.Verdict(); got != PartialMonopolizingSafe {
+		t.Errorf("verdict = %s, want partial-monopolizing-safe", got)
+	}
+}
+
+// TestDistributedPlacementsMix: with MCs spread across the chip, dimension
+// order routing mixes the classes, so partitioning is required.
+func TestDistributedPlacementsMix(t *testing.T) {
+	for _, pl := range []config.Placement{
+		config.PlacementEdge, config.PlacementDiamond, config.PlacementTopBottom,
+	} {
+		u := analyze(t, pl, config.RoutingXY)
+		if u.Verdict() == FullMonopolizingSafe {
+			t.Errorf("%s+XY claims full monopolizing is safe; distributed placements must mix", pl)
+		}
+	}
+}
+
+func TestTopPlacementSymmetry(t *testing.T) {
+	// Top is bottom mirrored; XY there is equally unmixed.
+	u := analyze(t, config.PlacementTop, config.RoutingXY)
+	if u.Verdict() != FullMonopolizingSafe {
+		t.Error("top placement with XY should also allow full monopolizing")
+	}
+}
+
+// TestMixedLinksConsistency cross-checks MixedLinks against UsedBy.
+func TestMixedLinksConsistency(t *testing.T) {
+	u := analyze(t, config.PlacementDiamond, config.RoutingXY)
+	mixed := map[mesh.Link]bool{}
+	for _, l := range u.MixedLinks() {
+		mixed[l] = true
+		if !u.UsedBy(l, packet.Request) || !u.UsedBy(l, packet.Reply) {
+			t.Fatalf("link %v reported mixed but UsedBy disagrees", l)
+		}
+	}
+	for _, l := range m8.Links() {
+		both := u.UsedBy(l, packet.Request) && u.UsedBy(l, packet.Reply)
+		if both != mixed[l] {
+			t.Fatalf("mixing disagreement on %v", l)
+		}
+	}
+}
+
+// TestRequestUsesSouthOnly: bottom placement + XY means request packets only
+// ever travel south on vertical links, replies only north (Figure 4).
+func TestRequestReplyVerticalSeparation(t *testing.T) {
+	u := analyze(t, config.PlacementBottom, config.RoutingXY)
+	for _, l := range m8.Links() {
+		switch l.Dir {
+		case mesh.North:
+			if u.UsedBy(l, packet.Request) {
+				t.Fatalf("request uses north link %v under bottom+XY", l)
+			}
+		case mesh.South:
+			if u.UsedBy(l, packet.Reply) {
+				t.Fatalf("reply uses south link %v under bottom+XY", l)
+			}
+		}
+	}
+}
+
+// TestBottomXYHorizontalRowSeparation: under XY, request horizontal traffic
+// stays in core rows and reply horizontal traffic stays in the MC row.
+func TestBottomXYHorizontalRowSeparation(t *testing.T) {
+	u := analyze(t, config.PlacementBottom, config.RoutingXY)
+	for _, l := range m8.Links() {
+		if l.Dir.Orientation() != mesh.Horizontal {
+			continue
+		}
+		row := m8.Coord(l.From).Row
+		if row == 7 && u.UsedBy(l, packet.Request) {
+			t.Fatalf("request on bottom-row horizontal link %v", l)
+		}
+		if row != 7 && u.UsedBy(l, packet.Reply) {
+			t.Fatalf("reply on core-row horizontal link %v", l)
+		}
+	}
+}
+
+func TestCheckPolicy(t *testing.T) {
+	mono := vc.MustNewPolicy(nocWith(config.VCMonopolized, 2))
+	split := vc.MustNewPolicy(nocWith(config.VCSplit, 2))
+	partial := vc.MustNewPolicy(nocWith(config.VCPartialMonopolized, 2))
+
+	// Safe: monopolizing where classes never meet.
+	if err := analyze(t, config.PlacementBottom, config.RoutingXY).CheckPolicy(mono); err != nil {
+		t.Errorf("bottom+XY+monopolized should be safe: %v", err)
+	}
+	// Unsafe: monopolizing on a mixing configuration.
+	if err := analyze(t, config.PlacementDiamond, config.RoutingXY).CheckPolicy(mono); err == nil {
+		t.Error("diamond+XY+monopolized must be rejected")
+	}
+	// Partial is exactly right for XY-YX on bottom.
+	if err := analyze(t, config.PlacementBottom, config.RoutingXYYX).CheckPolicy(partial); err != nil {
+		t.Errorf("bottom+XY-YX+partial should be safe: %v", err)
+	}
+	// Partial is NOT safe where vertical links mix.
+	if err := analyze(t, config.PlacementDiamond, config.RoutingXY).CheckPolicy(partial); err == nil {
+		t.Error("diamond+XY+partial must be rejected")
+	}
+	// Split is safe everywhere.
+	for _, pl := range []config.Placement{config.PlacementBottom, config.PlacementDiamond, config.PlacementEdge} {
+		for _, rt := range config.Routings() {
+			if err := analyze(t, pl, rt).CheckPolicy(split); err != nil {
+				t.Errorf("split must be safe under %s+%s: %v", pl, rt, err)
+			}
+		}
+	}
+}
+
+func nocWith(pol config.VCPolicy, vcs int) config.NoC {
+	n := config.Default().NoC
+	n.VCPolicy = pol
+	n.VCsPerPort = vcs
+	return n
+}
+
+func TestRecommendPolicy(t *testing.T) {
+	cases := []struct {
+		pl   config.Placement
+		rt   config.Routing
+		vcs  int
+		want config.VCPolicy
+	}{
+		{config.PlacementBottom, config.RoutingXY, 2, config.VCMonopolized},
+		{config.PlacementBottom, config.RoutingYX, 2, config.VCMonopolized},
+		{config.PlacementBottom, config.RoutingXYYX, 2, config.VCPartialMonopolized},
+		{config.PlacementDiamond, config.RoutingXY, 4, config.VCAsymmetric},
+		{config.PlacementDiamond, config.RoutingXY, 2, config.VCSplit},
+		{config.PlacementEdge, config.RoutingYX, 4, config.VCAsymmetric},
+	}
+	for _, tc := range cases {
+		u := analyze(t, tc.pl, tc.rt)
+		if got := u.RecommendPolicy(tc.vcs); got != tc.want {
+			t.Errorf("%s+%s (%d VCs): recommended %s, want %s", tc.pl, tc.rt, tc.vcs, got, tc.want)
+		}
+	}
+}
+
+func TestValidateScheme(t *testing.T) {
+	base := config.Default()
+	for _, s := range []Scheme{
+		Baseline, YXSplit, XYYXSplit, XYMonopolized, YXMonopolized, XYYXPartialMono,
+	} {
+		if _, err := ValidateScheme(s, base); err != nil {
+			t.Errorf("paper scheme %q rejected: %v", s.Label, err)
+		}
+	}
+	// A deliberately unsafe scheme must be rejected.
+	unsafe := Scheme{"diamond mono", config.PlacementDiamond, config.RoutingXY, config.VCMonopolized}
+	if _, err := ValidateScheme(unsafe, base); err == nil {
+		t.Error("diamond+XY+monopolized must fail validation")
+	}
+}
+
+func TestSchemeApply(t *testing.T) {
+	cfg := YXMonopolized.Apply(config.Default())
+	if cfg.NoC.Routing != config.RoutingYX || cfg.NoC.VCPolicy != config.VCMonopolized ||
+		cfg.Placement != config.PlacementBottom {
+		t.Errorf("Apply produced %+v", cfg.NoC)
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	for _, v := range []Verdict{FullMonopolizingSafe, PartialMonopolizingSafe, PartitionRequired} {
+		if v.String() == "" {
+			t.Errorf("verdict %d has no name", v)
+		}
+	}
+}

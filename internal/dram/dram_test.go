@@ -1,0 +1,196 @@
+package dram
+
+import (
+	"testing"
+)
+
+func run(d *DRAM, cycles int, start int64) (done []uint64, end int64) {
+	now := start
+	for i := 0; i < cycles; i++ {
+		d.Tick(now)
+		done = append(done, d.Completed()...)
+		now++
+	}
+	return done, now
+}
+
+func TestSingleAccessLatency(t *testing.T) {
+	p := DefaultParams()
+	d := New(p)
+	if !d.Enqueue(1, 0, 0) {
+		t.Fatal("enqueue refused on empty queue")
+	}
+	var completedAt int64 = -1
+	for now := int64(0); now < 400; now++ {
+		d.Tick(now)
+		if ids := d.Completed(); len(ids) > 0 {
+			if ids[0] != 1 {
+				t.Fatalf("completed id %d", ids[0])
+			}
+			completedAt = now
+			break
+		}
+	}
+	// Cold bank: row miss. Issue at cycle 0, ready MinLatency+RowMissPenalty later.
+	want := int64(p.MinLatency + p.RowMissPenalty)
+	if completedAt < want || completedAt > want+2 {
+		t.Errorf("completion at %d, want ~%d", completedAt, want)
+	}
+	if d.RowMisses != 1 || d.RowHits != 0 {
+		t.Errorf("row hits/misses = %d/%d", d.RowHits, d.RowMisses)
+	}
+}
+
+func TestRowHitFasterThanMiss(t *testing.T) {
+	p := DefaultParams()
+	d := New(p)
+	d.Enqueue(1, 0, 0)
+	d.Enqueue(2, 128, 0) // same row
+	done, _ := run(d, 600, 0)
+	if len(done) != 2 {
+		t.Fatalf("completed %d of 2", len(done))
+	}
+	if d.RowHits != 1 || d.RowMisses != 1 {
+		t.Errorf("row hits/misses = %d/%d, want 1/1", d.RowHits, d.RowMisses)
+	}
+	if d.RowHitRate() != 0.5 {
+		t.Errorf("row hit rate = %v", d.RowHitRate())
+	}
+}
+
+func TestBankParallelism(t *testing.T) {
+	// Accesses to different banks overlap: 8 accesses to 8 banks complete
+	// far sooner than 8x the single-access latency.
+	p := DefaultParams()
+	d := New(p)
+	for i := uint64(0); i < 8; i++ {
+		d.Enqueue(i+1, i*uint64(p.RowBytes), 0)
+	}
+	var last int64
+	for now := int64(0); now < 2000; now++ {
+		d.Tick(now)
+		if ids := d.Completed(); len(ids) > 0 {
+			last = now
+		}
+		if d.Served == 8 {
+			break
+		}
+	}
+	if d.Served != 8 {
+		t.Fatalf("served %d of 8", d.Served)
+	}
+	serial := int64(8 * (p.MinLatency + p.RowMissPenalty))
+	if last >= serial/2 {
+		t.Errorf("8-bank completion at %d; banks are not overlapping (serial would be %d)", last, serial)
+	}
+}
+
+func TestQueueBackpressure(t *testing.T) {
+	p := DefaultParams()
+	p.QueueCap = 2
+	d := New(p)
+	if !d.Enqueue(1, 0, 0) || !d.Enqueue(2, 64, 0) {
+		t.Fatal("first two enqueues refused")
+	}
+	if d.Enqueue(3, 128, 0) {
+		t.Fatal("enqueue accepted beyond capacity")
+	}
+	if d.QueueLen() != 2 {
+		t.Errorf("queue len = %d", d.QueueLen())
+	}
+}
+
+func TestFCFSStrictOrder(t *testing.T) {
+	// In-order: a younger request to a free bank must NOT bypass an older
+	// request to a busy bank.
+	p := DefaultParams()
+	p.FRFCFS = false
+	d := New(p)
+	d.Enqueue(1, 0, 0) // bank 0
+	done, now := run(d, 60, 0)
+	if len(done) != 0 {
+		t.Fatal("completed too early")
+	}
+	// Bank 0 is busy; enqueue another bank-0 access then a bank-1 access.
+	d.Enqueue(2, uint64(p.RowBytes*p.Banks), now) // bank 0, different row
+	d.Enqueue(3, uint64(p.RowBytes), now)         // bank 1
+	var order []uint64
+	for i := 0; i < 3000 && len(order) < 3; i++ {
+		d.Tick(now)
+		order = append(order, d.Completed()...)
+		now++
+	}
+	if len(order) != 3 {
+		t.Fatalf("completed %d of 3", len(order))
+	}
+	if order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("FCFS completion order = %v, want [1 2 3]", order)
+	}
+}
+
+func TestFRFCFSPrefersRowHits(t *testing.T) {
+	p := DefaultParams()
+	p.FRFCFS = true
+	d := New(p)
+	d.Enqueue(1, 0, 0) // bank 0, row 0: opens the row
+	// Wait until bank 0 is free again.
+	_, now := run(d, p.OccupancyMiss+2, 0)
+	d.Enqueue(2, uint64(p.RowBytes*p.Banks), now) // bank 0, row 1 (older)
+	d.Enqueue(3, 64, now)                         // bank 0, row 0 (younger, row hit)
+	var order []uint64
+	for i := 0; i < 3000 && len(order) < 3; i++ {
+		d.Tick(now)
+		order = append(order, d.Completed()...)
+		now++
+	}
+	if len(order) != 3 {
+		t.Fatalf("completed %d of 3", len(order))
+	}
+	// The row hit (3) must be served before the older row miss (2); its
+	// shorter latency may even finish it before access 1's long miss.
+	pos := map[uint64]int{}
+	for i, id := range order {
+		pos[id] = i
+	}
+	if pos[3] > pos[2] {
+		t.Errorf("FR-FCFS order = %v, want 3 before 2", order)
+	}
+	if d.RowHits == 0 {
+		t.Error("FR-FCFS produced no row hits")
+	}
+}
+
+func TestFRFCFSBeatsFCFSOnRowLocality(t *testing.T) {
+	load := func(frfcfs bool) int64 {
+		p := DefaultParams()
+		p.FRFCFS = frfcfs
+		d := New(p)
+		// Interleaved rows on one bank: FCFS ping-pongs the row buffer,
+		// FR-FCFS batches row hits.
+		id := uint64(1)
+		for i := 0; i < 8; i++ {
+			d.Enqueue(id, uint64(i%2)*uint64(p.RowBytes*p.Banks)+uint64(i)*64, 0)
+			id++
+		}
+		now := int64(0)
+		for d.Served < 8 && now < 10000 {
+			d.Tick(now)
+			d.Completed()
+			now++
+		}
+		return now
+	}
+	fcfs, fr := load(false), load(true)
+	if fr >= fcfs {
+		t.Errorf("FR-FCFS (%d cycles) should beat FCFS (%d) on row-interleaved load", fr, fcfs)
+	}
+}
+
+func TestNewPanicsOnBadParams(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on zero banks")
+		}
+	}()
+	New(Params{Banks: 0, RowBytes: 1, MinLatency: 1, QueueCap: 1, OccupancyHit: 1, OccupancyMiss: 1})
+}

@@ -1,0 +1,256 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md's per-experiment index). Each runner returns a
+// formatted Table; cmd/experiments prints them and the root bench suite
+// wraps them in testing.B benchmarks.
+//
+// Runs are parallelized across (benchmark, configuration) pairs — every
+// simulation is independent and deterministic, so tables are reproducible
+// regardless of worker count.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"gpgpunoc/internal/config"
+	"gpgpunoc/internal/core"
+	"gpgpunoc/internal/gpu"
+	"gpgpunoc/internal/workload"
+)
+
+// Opts control experiment scale.
+type Opts struct {
+	// Benchmarks to run; nil means all 25.
+	Benchmarks []string
+	// WarmupCycles/MeasureCycles override the config defaults when > 0.
+	WarmupCycles, MeasureCycles int
+	// Parallel is the worker count; 0 means GOMAXPROCS.
+	Parallel int
+	// Seed overrides the default seed when non-zero.
+	Seed uint64
+}
+
+func (o Opts) benchmarks() []string {
+	if len(o.Benchmarks) > 0 {
+		return o.Benchmarks
+	}
+	return workload.Names()
+}
+
+func (o Opts) apply(cfg config.Config) config.Config {
+	if o.WarmupCycles > 0 {
+		cfg.WarmupCycles = o.WarmupCycles
+	}
+	if o.MeasureCycles > 0 {
+		cfg.MeasureCycles = o.MeasureCycles
+	}
+	if o.Seed != 0 {
+		cfg.Seed = o.Seed
+	}
+	return cfg
+}
+
+func (o Opts) workers() int {
+	if o.Parallel > 0 {
+		return o.Parallel
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Table is a printable experiment result.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// Fprint renders the table as aligned text.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, cell := range r {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Columns)
+	total := len(widths) - 1
+	for _, w2 := range widths {
+		total += w2 + 1
+	}
+	fmt.Fprintln(w, strings.Repeat("-", total))
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Fprint(&b)
+	return b.String()
+}
+
+// job is one simulation to run.
+type job struct {
+	bench string
+	cfg   config.Config
+}
+
+type outcome struct {
+	key string
+	res gpu.Result
+	err error
+}
+
+// runAll executes every job in parallel and returns outcomes keyed by
+// (benchmark, label).
+func runAll(jobs map[string]job, workers int) (map[string]gpu.Result, error) {
+	keys := make([]string, 0, len(jobs))
+	for k := range jobs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	in := make(chan string)
+	out := make(chan outcome)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := range in {
+				j := jobs[k]
+				res, err := gpu.RunBenchmark(j.cfg, j.bench)
+				out <- outcome{key: k, res: res, err: err}
+			}
+		}()
+	}
+	go func() {
+		for _, k := range keys {
+			in <- k
+		}
+		close(in)
+		wg.Wait()
+		close(out)
+	}()
+
+	results := make(map[string]gpu.Result, len(jobs))
+	var firstErr error
+	for oc := range out {
+		if oc.err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("%s: %w", oc.key, oc.err)
+		}
+		results[oc.key] = oc.res
+	}
+	return results, firstErr
+}
+
+// geomean of strictly positive values; zero values are clamped to epsilon so
+// one deadlocked/degenerate run does not zero the whole mean.
+func geomean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range vals {
+		if v <= 0 {
+			v = 1e-9
+		}
+		sum += math.Log(v)
+	}
+	return math.Exp(sum / float64(len(vals)))
+}
+
+func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string  { return fmt.Sprintf("%.3f", v) }
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
+
+// schemeConfigs builds one labelled config per scheme over a base.
+func schemeConfigs(base config.Config, schemes []core.Scheme) map[string]config.Config {
+	out := make(map[string]config.Config, len(schemes))
+	for _, s := range schemes {
+		out[s.Label] = s.Apply(base)
+	}
+	return out
+}
+
+// runSchemes runs every benchmark under every scheme and returns
+// ipc[benchmark][label].
+func runSchemes(o Opts, base config.Config, schemes []core.Scheme) (map[string]map[string]float64, error) {
+	cfgs := schemeConfigs(o.apply(base), schemes)
+	jobs := map[string]job{}
+	for _, b := range o.benchmarks() {
+		for label, cfg := range cfgs {
+			jobs[b+"/"+label] = job{bench: b, cfg: cfg}
+		}
+	}
+	results, err := runAll(jobs, o.workers())
+	if err != nil {
+		return nil, err
+	}
+	ipc := map[string]map[string]float64{}
+	for _, b := range o.benchmarks() {
+		ipc[b] = map[string]float64{}
+		for label := range cfgs {
+			ipc[b][label] = results[b+"/"+label].IPC
+		}
+	}
+	return ipc, nil
+}
+
+// normalizedTable renders per-benchmark IPC of each scheme normalized to the
+// first scheme, with a geomean row — the format of Figures 7-10.
+func normalizedTable(id, title string, o Opts, ipc map[string]map[string]float64, schemes []core.Scheme) *Table {
+	t := &Table{ID: id, Title: title, Columns: []string{"Benchmark"}}
+	for _, s := range schemes {
+		t.Columns = append(t.Columns, s.Label)
+	}
+	norm := make(map[string][]float64, len(schemes))
+	for _, b := range o.benchmarks() {
+		base := ipc[b][schemes[0].Label]
+		row := []string{b}
+		for _, s := range schemes {
+			v := 0.0
+			if base > 0 {
+				v = ipc[b][s.Label] / base
+			}
+			row = append(row, f3(v))
+			norm[s.Label] = append(norm[s.Label], v)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	gm := []string{"Geomean"}
+	for _, s := range schemes {
+		gm = append(gm, f3(geomean(norm[s.Label])))
+	}
+	t.Rows = append(t.Rows, gm)
+	return t
+}

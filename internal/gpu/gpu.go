@@ -1,0 +1,202 @@
+// Package gpu assembles the full simulated system: 56 SM cores and 8 memory
+// controllers (Table 2) on the 2D-mesh NoC, running a workload profile. It
+// is the top of the substrate stack and what every IPC experiment in the
+// paper's evaluation drives.
+package gpu
+
+import (
+	"fmt"
+
+	"gpgpunoc/internal/config"
+	"gpgpunoc/internal/core"
+	"gpgpunoc/internal/mc"
+	"gpgpunoc/internal/mesh"
+	"gpgpunoc/internal/noc"
+	"gpgpunoc/internal/packet"
+	"gpgpunoc/internal/placement"
+	"gpgpunoc/internal/routing"
+	"gpgpunoc/internal/smcore"
+	"gpgpunoc/internal/stats"
+	"gpgpunoc/internal/workload"
+)
+
+// Simulator is one configured GPU system.
+type Simulator struct {
+	Cfg   config.Config
+	Prof  workload.Profile
+	Net   noc.Interconnect
+	Place *placement.Placement
+
+	SMs []*smcore.SM
+	MCs []*mc.MC
+
+	gpu    stats.GPU
+	nextID uint64
+	cycle  int64
+}
+
+// Options tweak simulator construction.
+type Options struct {
+	// AllowUnsafe skips the protocol-deadlock safety check, for
+	// demonstrations that want to watch an unsafe configuration wedge.
+	AllowUnsafe bool
+}
+
+// New builds a simulator for cfg running the named workload profile.
+func New(cfg config.Config, prof workload.Profile, opts Options) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := prof.Validate(); err != nil {
+		return nil, err
+	}
+	m := mesh.New(cfg.NoC.Width, cfg.NoC.Height)
+	pl, err := placement.New(cfg.Placement, m, cfg.Mem.NumMCs)
+	if err != nil {
+		return nil, err
+	}
+	alg, err := routing.New(cfg.NoC.Routing)
+	if err != nil {
+		return nil, err
+	}
+	usage := core.Analyze(m, pl, alg)
+	asg, err := core.BuildAssigner(usage, cfg.NoC)
+	if err != nil {
+		return nil, err
+	}
+	if !opts.AllowUnsafe {
+		if err := usage.CheckPolicy(asg); err != nil {
+			return nil, err
+		}
+	}
+
+	var net noc.Interconnect
+	if cfg.NoC.PhysicalSubnets {
+		var subOpts []noc.Option
+		if cfg.NoC.SubnetHalfWidth {
+			subOpts = append(subOpts, noc.WithLinkPeriod(2))
+		}
+		net = noc.NewDual(cfg.NoC, alg, subOpts...)
+	} else {
+		net = noc.New(cfg.NoC, alg, asg)
+	}
+
+	s := &Simulator{Cfg: cfg, Prof: prof, Net: net, Place: pl}
+
+	cores := pl.Cores()
+	if len(cores) < cfg.Core.NumSMs {
+		return nil, fmt.Errorf("gpu: placement leaves %d core tiles for %d SMs", len(cores), cfg.Core.NumSMs)
+	}
+	for i := 0; i < cfg.Core.NumSMs; i++ {
+		sm := smcore.New(i, cores[i], cfg.Core, cfg.Mem, prof,
+			cfg.Seed+uint64(i)*0x9e3779b9, net, pl, &s.gpu, &s.nextID)
+		s.SMs = append(s.SMs, sm)
+		net.SetSink(sm.Node, sm.Sink())
+	}
+	// Unpopulated core tiles (none in the 56+8 system, but possible in
+	// ablations) simply absorb anything misrouted to them.
+	for i := cfg.Core.NumSMs; i < len(cores); i++ {
+		net.SetSink(cores[i], func(packet.Flit) bool { return true })
+	}
+	for i := range pl.MCs {
+		ctrl := mc.New(i, pl.MCNode(i), cfg.Mem, net, &s.gpu)
+		s.MCs = append(s.MCs, ctrl)
+		net.SetSink(ctrl.Node, ctrl.Sink(func() int64 { return s.cycle }))
+	}
+	return s, nil
+}
+
+// Step advances the whole system one NoC cycle.
+func (s *Simulator) Step() {
+	for _, sm := range s.SMs {
+		sm.Tick(s.cycle)
+	}
+	for _, m := range s.MCs {
+		m.Tick(s.cycle)
+	}
+	s.Net.Step()
+	s.cycle++
+}
+
+// Result summarizes one run.
+type Result struct {
+	Benchmark  string
+	IPC        float64
+	Cycles     int64
+	Deadlocked bool
+
+	GPU stats.GPU
+	Net *stats.Net
+}
+
+// Run simulates warmup then measurement and returns the results. The
+// deadlock watchdog aborts wedged runs (Deadlocked set, stats best-effort).
+func (s *Simulator) Run() Result {
+	const watchdogWindow = 2048
+
+	s.Net.EnableStats(false)
+	for i := 0; i < s.Cfg.WarmupCycles; i++ {
+		s.Step()
+		if i%512 == 511 && s.Net.Quiescent(watchdogWindow) {
+			return s.result(true, int64(i))
+		}
+	}
+
+	before := s.gpu
+	s.Net.EnableStats(true)
+	for i := 0; i < s.Cfg.MeasureCycles; i++ {
+		s.Step()
+		if i%512 == 511 && s.Net.Quiescent(watchdogWindow) {
+			return s.result(true, int64(i))
+		}
+	}
+
+	res := s.result(false, int64(s.Cfg.MeasureCycles))
+	res.GPU = delta(before, s.gpu)
+	res.GPU.Cycles = int64(s.Cfg.MeasureCycles)
+	res.IPC = res.GPU.IPC()
+	return res
+}
+
+func (s *Simulator) result(deadlocked bool, cycles int64) Result {
+	st := s.Net.Stats()
+	st.Cycles = cycles
+	g := s.gpu
+	g.Cycles = cycles
+	return Result{
+		Benchmark:  s.Prof.Name,
+		IPC:        g.IPC(),
+		Cycles:     cycles,
+		Deadlocked: deadlocked,
+		GPU:        g,
+		Net:        st,
+	}
+}
+
+func delta(before, after stats.GPU) stats.GPU {
+	return stats.GPU{
+		Instructions:    after.Instructions - before.Instructions,
+		MemRequests:     after.MemRequests - before.MemRequests,
+		L1Hits:          after.L1Hits - before.L1Hits,
+		L1Misses:        after.L1Misses - before.L1Misses,
+		L2Hits:          after.L2Hits - before.L2Hits,
+		L2Misses:        after.L2Misses - before.L2Misses,
+		InstFetchMisses: after.InstFetchMisses - before.InstFetchMisses,
+		StallCycles:     after.StallCycles - before.StallCycles,
+	}
+}
+
+// RunBenchmark is the one-call convenience used by examples and tools:
+// build a simulator for cfg and the named benchmark, run it, return the
+// result.
+func RunBenchmark(cfg config.Config, benchmark string) (Result, error) {
+	prof, err := workload.Get(benchmark)
+	if err != nil {
+		return Result{}, err
+	}
+	sim, err := New(cfg, prof, Options{})
+	if err != nil {
+		return Result{}, err
+	}
+	return sim.Run(), nil
+}

@@ -1,0 +1,224 @@
+// Package mc implements the memory-controller endpoint of the simulated
+// GPGPU: each MC ejects request packets from the NoC, services them through
+// its shared-L2 slice and DRAM channel (Table 2: 64KB 8-way L2 per MC,
+// 120-cycle minimum L2 latency, 220-cycle minimum DRAM latency), and injects
+// the matching reply packets.
+//
+// All queues are finite. A full reply path stalls request ejection, which is
+// the backpressure chain that makes protocol deadlock expressible — and that
+// the paper's VC partitioning rules must (and do) break.
+package mc
+
+import (
+	"gpgpunoc/internal/cache"
+	"gpgpunoc/internal/config"
+	"gpgpunoc/internal/dram"
+	"gpgpunoc/internal/mesh"
+	"gpgpunoc/internal/noc"
+	"gpgpunoc/internal/packet"
+	"gpgpunoc/internal/stats"
+)
+
+// pendingReply is a serviced request waiting for its latency to elapse.
+type pendingReply struct {
+	readyAt int64
+	reply   *packet.Packet
+}
+
+// MC is one memory controller plus its L2 slice and DRAM channel.
+type MC struct {
+	Node  mesh.NodeID
+	Index int
+
+	cfg  config.Mem
+	net  noc.Interconnect
+	l2   *cache.Cache
+	dram *dram.DRAM
+
+	queue     int // accepted requests whose replies are not yet injected
+	inL2      []pendingReply
+	dramWait  map[uint64]*packet.Packet // DRAM access id -> request awaiting fill
+	retryDRAM []*packet.Packet          // L2 misses waiting for DRAM queue space
+	outbox    []*packet.Packet
+
+	nextDRAMID uint64
+	svcTokens  int // clock-domain throttle
+
+	gpu *stats.GPU
+
+	// ReadsServed and WritesServed count serviced requests.
+	ReadsServed, WritesServed int64
+}
+
+// New builds an MC at node for slice index idx.
+func New(idx int, node mesh.NodeID, cfg config.Mem, net noc.Interconnect, gpu *stats.GPU) *MC {
+	dp := dram.DefaultParams()
+	dp.Banks = cfg.DRAMBanksPerMC
+	dp.RowBytes = cfg.RowBufferBytes
+	dp.MinLatency = cfg.MinDRAMCycles
+	dp.FRFCFS = cfg.UseFRFCFS
+	return &MC{
+		Node:     node,
+		Index:    idx,
+		cfg:      cfg,
+		net:      net,
+		l2:       cache.New(cfg.L2BytesPerMC, cfg.L2Ways, cfg.LineBytes),
+		dram:     dram.New(dp),
+		dramWait: make(map[uint64]*packet.Packet),
+		gpu:      gpu,
+	}
+}
+
+// L2 exposes the cache for inspection in tests and reports.
+func (m *MC) L2() *cache.Cache { return m.l2 }
+
+// DRAM exposes the channel for inspection.
+func (m *MC) DRAM() *dram.DRAM { return m.dram }
+
+// QueueLen returns occupied request-queue slots.
+func (m *MC) QueueLen() int { return m.queue }
+
+// Sink returns the NoC ejection callback: requests are accepted per packet
+// (head-gated on queue space) and serviced when the tail arrives.
+func (m *MC) Sink(now func() int64) noc.Sink {
+	return func(f packet.Flit) bool {
+		if f.Head && f.Pkt.Class() == packet.Request {
+			if m.queue >= m.cfg.MCRequestQueue {
+				return false
+			}
+			m.queue++
+		}
+		if f.Tail {
+			m.service(f.Pkt, now())
+		}
+		return true
+	}
+}
+
+// localAddr collapses the global line address into this slice's local
+// space: the MC owns every NumMCs-th line, so dividing the interleave
+// factor out keeps all 64 L2 sets (and all DRAM rows) in use. Without this,
+// line%k interleaving aliases every line into k of the sets and the slice
+// thrashes at 1/k of its real capacity.
+func (m *MC) localAddr(addr uint64) uint64 {
+	lb := uint64(m.cfg.LineBytes)
+	return (addr / lb / uint64(m.cfg.NumMCs)) * lb
+}
+
+// service runs the L2 lookup for a fully received request.
+func (m *MC) service(req *packet.Packet, now int64) {
+	isWrite := req.Type == packet.WriteRequest
+	if isWrite {
+		m.WritesServed++
+	} else {
+		m.ReadsServed++
+	}
+	res := m.l2.Access(m.localAddr(req.Access.Addr), isWrite)
+	if res.Eviction {
+		// Dirty L2 victim: write back to DRAM. Bandwidth matters, the
+		// completion does not (no reply); drop it on the floor if the DRAM
+		// queue is full — the traffic model stays conservative for reads.
+		m.nextDRAMID++
+		m.dram.Enqueue(m.nextDRAMID<<1|1, res.VictimAddr, now)
+	}
+	if res.Hit {
+		if m.gpu != nil {
+			m.gpu.L2Hits++
+		}
+		m.inL2 = append(m.inL2, pendingReply{
+			readyAt: now + int64(m.cfg.MinL2Cycles),
+			reply:   m.makeReply(req, now),
+		})
+		return
+	}
+	if m.gpu != nil {
+		m.gpu.L2Misses++
+	}
+	if !m.tryDRAM(req, now) {
+		m.retryDRAM = append(m.retryDRAM, req)
+	}
+}
+
+func (m *MC) tryDRAM(req *packet.Packet, now int64) bool {
+	m.nextDRAMID++
+	id := m.nextDRAMID << 1 // even ids carry replies
+	if !m.dram.Enqueue(id, m.localAddr(req.Access.Addr), now) {
+		m.nextDRAMID--
+		return false
+	}
+	m.dramWait[id] = req
+	return true
+}
+
+func (m *MC) makeReply(req *packet.Packet, now int64) *packet.Packet {
+	rt := req.Type.Reply()
+	return &packet.Packet{
+		Type:      rt,
+		Src:       int(m.Node),
+		Dst:       req.Src,
+		Flits:     packet.Length(rt),
+		Access:    req.Access,
+		CreatedAt: now,
+	}
+}
+
+// Tick advances the MC one NoC cycle.
+func (m *MC) Tick(now int64) {
+	// Service-bandwidth throttle: the MC issues at most one reply every
+	// MCServicePeriod NoC cycles, modelling the 924MHz L2/GDDR datapath
+	// whose sustained bandwidth is on the order of one 32B flit per
+	// 1400MHz NoC cycle (a 5-flit read reply every ~4-5 cycles). DRAM and
+	// L2 completions are latency events and run every cycle; only reply
+	// injection spends tokens. This bound is what makes the paper's
+	// headline possible at all: with it, a single well-used egress link
+	// per MC (bottom placement) carries the full service rate, so the
+	// proposed bottom+YX+FM design is not structurally out-linked by
+	// placements whose MCs have more ports.
+	if m.cfg.MCServicePeriod <= 1 {
+		m.svcTokens = 1
+	} else if now%int64(m.cfg.MCServicePeriod) == 0 {
+		m.svcTokens = 1
+	}
+
+	m.dram.Tick(now)
+	for _, id := range m.dram.Completed() {
+		if id&1 == 1 {
+			continue // write-back completion; no reply
+		}
+		req, ok := m.dramWait[id]
+		if !ok {
+			panic("mc: DRAM completion for unknown access")
+		}
+		delete(m.dramWait, id)
+		m.outbox = append(m.outbox, m.makeReply(req, now))
+	}
+
+	// Retry DRAM enqueues blocked on queue space.
+	for len(m.retryDRAM) > 0 && m.tryDRAM(m.retryDRAM[0], now) {
+		m.retryDRAM = m.retryDRAM[1:]
+	}
+
+	// L2-latency completions.
+	if len(m.inL2) > 0 {
+		keep := m.inL2[:0]
+		for _, pr := range m.inL2 {
+			if pr.readyAt <= now {
+				m.outbox = append(m.outbox, pr.reply)
+			} else {
+				keep = append(keep, pr)
+			}
+		}
+		m.inL2 = keep
+	}
+
+	// Inject replies, spending service tokens; free queue slots as replies
+	// leave.
+	for len(m.outbox) > 0 && m.svcTokens > 0 {
+		if !m.net.Inject(m.outbox[0]) {
+			break
+		}
+		m.outbox = m.outbox[1:]
+		m.queue--
+		m.svcTokens--
+	}
+}

@@ -1,0 +1,192 @@
+// Package mesh defines the 2D-mesh topology used by the GPGPU on-chip
+// network: node coordinates, router ports/directions, and directed links.
+//
+// Conventions (matching Figure 4 of the paper):
+//   - Row 0 is the TOP of the chip; row Height-1 is the BOTTOM, where the
+//     baseline places the memory controllers.
+//   - Column 0 is the LEFT edge.
+//   - South therefore increases the row index and East increases the column
+//     index.
+package mesh
+
+import "fmt"
+
+// Direction identifies one of the five router ports. The four cardinal
+// directions name the neighbour the port connects to; Local is the
+// injection/ejection port of the node attached to the router.
+type Direction uint8
+
+const (
+	North Direction = iota
+	East
+	South
+	West
+	Local
+	// NumPorts is the number of ports on a mesh router.
+	NumPorts = 5
+	// NumLinkDirs is the number of inter-router directions (excludes Local).
+	NumLinkDirs = 4
+)
+
+var dirNames = [NumPorts]string{"N", "E", "S", "W", "L"}
+
+// String returns a one-letter name for the direction.
+func (d Direction) String() string {
+	if int(d) < len(dirNames) {
+		return dirNames[d]
+	}
+	return fmt.Sprintf("Direction(%d)", uint8(d))
+}
+
+// Opposite returns the direction a flit leaving through d arrives from at the
+// downstream router. Local is its own opposite.
+func (d Direction) Opposite() Direction {
+	switch d {
+	case North:
+		return South
+	case South:
+		return North
+	case East:
+		return West
+	case West:
+		return East
+	default:
+		return Local
+	}
+}
+
+// Orientation classifies a link by the dimension it traverses. The VC
+// monopolizing analysis distinguishes horizontal from vertical links because
+// XY-YX routing mixes traffic classes only on horizontal links.
+type Orientation uint8
+
+const (
+	Horizontal Orientation = iota // East/West links
+	Vertical                      // North/South links
+	LocalPort                     // injection/ejection
+)
+
+var orientNames = [3]string{"horizontal", "vertical", "local"}
+
+// String returns the lowercase orientation name.
+func (o Orientation) String() string { return orientNames[o] }
+
+// Orientation returns the orientation of a link leaving through d.
+func (d Direction) Orientation() Orientation {
+	switch d {
+	case East, West:
+		return Horizontal
+	case North, South:
+		return Vertical
+	default:
+		return LocalPort
+	}
+}
+
+// NodeID is the linear index of a mesh tile: Row*Width + Col.
+type NodeID int
+
+// Coord is a tile position in the mesh.
+type Coord struct {
+	Row, Col int
+}
+
+// String formats the coordinate as (row,col).
+func (c Coord) String() string { return fmt.Sprintf("(%d,%d)", c.Row, c.Col) }
+
+// Mesh describes a Width x Height 2D mesh. The zero value is not usable; use
+// New.
+type Mesh struct {
+	Width, Height int
+}
+
+// New returns a mesh with the given dimensions. It panics on non-positive
+// dimensions; topology construction is configuration, and misconfiguration
+// is a programming error.
+func New(width, height int) Mesh {
+	if width <= 0 || height <= 0 {
+		panic(fmt.Sprintf("mesh: invalid dimensions %dx%d", width, height))
+	}
+	return Mesh{Width: width, Height: height}
+}
+
+// NumNodes returns the number of tiles.
+func (m Mesh) NumNodes() int { return m.Width * m.Height }
+
+// ID converts a coordinate to a NodeID.
+func (m Mesh) ID(c Coord) NodeID { return NodeID(c.Row*m.Width + c.Col) }
+
+// Coord converts a NodeID to its coordinate.
+func (m Mesh) Coord(id NodeID) Coord {
+	return Coord{Row: int(id) / m.Width, Col: int(id) % m.Width}
+}
+
+// Contains reports whether c is inside the mesh.
+func (m Mesh) Contains(c Coord) bool {
+	return c.Row >= 0 && c.Row < m.Height && c.Col >= 0 && c.Col < m.Width
+}
+
+// Neighbor returns the coordinate adjacent to c in direction d and whether it
+// exists (mesh edges have no neighbour). Local returns c itself.
+func (m Mesh) Neighbor(c Coord, d Direction) (Coord, bool) {
+	n := c
+	switch d {
+	case North:
+		n.Row--
+	case South:
+		n.Row++
+	case East:
+		n.Col++
+	case West:
+		n.Col--
+	case Local:
+		return c, true
+	}
+	return n, m.Contains(n)
+}
+
+// HopDistance returns the Manhattan distance between two tiles, which is the
+// hop count under any minimal dimension-order route.
+func (m Mesh) HopDistance(a, b Coord) int {
+	return abs(a.Row-b.Row) + abs(a.Col-b.Col)
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Link is a directed inter-router channel, identified by the router it leaves
+// (From) and the output direction it leaves through.
+type Link struct {
+	From NodeID
+	Dir  Direction
+}
+
+// String formats the link as "(r,c)->D".
+func (l Link) String() string { return fmt.Sprintf("%d->%s", int(l.From), l.Dir) }
+
+// LinkIndex returns a dense index for the link usable as a slice offset:
+// node*NumPorts + dir. Local "links" are indexed too so injection/ejection
+// can share counter arrays.
+func (m Mesh) LinkIndex(l Link) int { return int(l.From)*NumPorts + int(l.Dir) }
+
+// NumLinkSlots returns the size of a per-link slice indexed by LinkIndex.
+func (m Mesh) NumLinkSlots() int { return m.NumNodes() * NumPorts }
+
+// Links enumerates every directed inter-router link that exists in the mesh
+// (Local ports excluded).
+func (m Mesh) Links() []Link {
+	links := make([]Link, 0, 2*(m.Width-1)*m.Height+2*(m.Height-1)*m.Width)
+	for id := NodeID(0); int(id) < m.NumNodes(); id++ {
+		c := m.Coord(id)
+		for d := North; d < Local; d++ {
+			if _, ok := m.Neighbor(c, d); ok {
+				links = append(links, Link{From: id, Dir: d})
+			}
+		}
+	}
+	return links
+}

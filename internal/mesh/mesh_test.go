@@ -1,0 +1,153 @@
+package mesh
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDirectionOpposite(t *testing.T) {
+	for d := North; d <= Local; d++ {
+		if d.Opposite().Opposite() != d {
+			t.Errorf("Opposite not an involution for %s", d)
+		}
+	}
+	if North.Opposite() != South || East.Opposite() != West {
+		t.Error("cardinal opposites wrong")
+	}
+	if Local.Opposite() != Local {
+		t.Error("Local must be self-opposite")
+	}
+}
+
+func TestOrientation(t *testing.T) {
+	cases := map[Direction]Orientation{
+		North: Vertical, South: Vertical,
+		East: Horizontal, West: Horizontal,
+		Local: LocalPort,
+	}
+	for d, want := range cases {
+		if got := d.Orientation(); got != want {
+			t.Errorf("%s orientation = %s, want %s", d, got, want)
+		}
+	}
+}
+
+func TestIDCoordRoundTrip(t *testing.T) {
+	m := New(8, 8)
+	for id := NodeID(0); int(id) < m.NumNodes(); id++ {
+		if got := m.ID(m.Coord(id)); got != id {
+			t.Fatalf("round trip failed for node %d: got %d", id, got)
+		}
+	}
+}
+
+func TestIDCoordRoundTripProperty(t *testing.T) {
+	f := func(w, h uint8, r, c uint8) bool {
+		W, H := int(w%16)+2, int(h%16)+2
+		m := New(W, H)
+		coord := Coord{Row: int(r) % H, Col: int(c) % W}
+		return m.Coord(m.ID(coord)) == coord
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNeighborEdges(t *testing.T) {
+	m := New(4, 4)
+	if _, ok := m.Neighbor(Coord{0, 0}, North); ok {
+		t.Error("north of top row should not exist")
+	}
+	if _, ok := m.Neighbor(Coord{0, 0}, West); ok {
+		t.Error("west of left column should not exist")
+	}
+	if _, ok := m.Neighbor(Coord{3, 3}, South); ok {
+		t.Error("south of bottom row should not exist")
+	}
+	if _, ok := m.Neighbor(Coord{3, 3}, East); ok {
+		t.Error("east of right column should not exist")
+	}
+	if n, ok := m.Neighbor(Coord{1, 1}, South); !ok || n != (Coord{2, 1}) {
+		t.Errorf("south of (1,1) = %v, %v", n, ok)
+	}
+	if n, ok := m.Neighbor(Coord{1, 1}, Local); !ok || n != (Coord{1, 1}) {
+		t.Errorf("local neighbor should be self, got %v, %v", n, ok)
+	}
+}
+
+func TestNeighborSymmetry(t *testing.T) {
+	m := New(5, 7)
+	for id := NodeID(0); int(id) < m.NumNodes(); id++ {
+		c := m.Coord(id)
+		for d := North; d < Local; d++ {
+			n, ok := m.Neighbor(c, d)
+			if !ok {
+				continue
+			}
+			back, ok := m.Neighbor(n, d.Opposite())
+			if !ok || back != c {
+				t.Fatalf("neighbor symmetry broken at %v dir %s", c, d)
+			}
+		}
+	}
+}
+
+func TestHopDistance(t *testing.T) {
+	m := New(8, 8)
+	if d := m.HopDistance(Coord{0, 0}, Coord{7, 7}); d != 14 {
+		t.Errorf("corner-to-corner distance = %d, want 14", d)
+	}
+	if d := m.HopDistance(Coord{3, 4}, Coord{3, 4}); d != 0 {
+		t.Errorf("self distance = %d, want 0", d)
+	}
+	if d := m.HopDistance(Coord{2, 5}, Coord{5, 2}); d != 6 {
+		t.Errorf("distance = %d, want 6", d)
+	}
+}
+
+func TestLinksCount(t *testing.T) {
+	m := New(8, 8)
+	// 2 directed links per internal edge: 2*(W-1)*H horizontal + 2*(H-1)*W vertical.
+	want := 2*7*8 + 2*7*8
+	if got := len(m.Links()); got != want {
+		t.Errorf("link count = %d, want %d", got, want)
+	}
+}
+
+func TestLinksAreValid(t *testing.T) {
+	m := New(6, 3)
+	seen := map[Link]bool{}
+	for _, l := range m.Links() {
+		if seen[l] {
+			t.Fatalf("duplicate link %v", l)
+		}
+		seen[l] = true
+		if _, ok := m.Neighbor(m.Coord(l.From), l.Dir); !ok {
+			t.Fatalf("link %v leaves the mesh", l)
+		}
+	}
+}
+
+func TestLinkIndexDense(t *testing.T) {
+	m := New(8, 8)
+	seen := map[int]bool{}
+	for _, l := range m.Links() {
+		idx := m.LinkIndex(l)
+		if idx < 0 || idx >= m.NumLinkSlots() {
+			t.Fatalf("index %d out of range for %v", idx, l)
+		}
+		if seen[idx] {
+			t.Fatalf("index collision at %d", idx)
+		}
+		seen[idx] = true
+	}
+}
+
+func TestNewPanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0, 5) did not panic")
+		}
+	}()
+	New(0, 5)
+}

@@ -1,0 +1,50 @@
+package noc
+
+import (
+	"fmt"
+	"io"
+
+	"gpgpunoc/internal/mesh"
+)
+
+// DumpBlocked writes a human-readable snapshot of every occupied input VC to
+// w: which packet is at the front, where it wants to go, and what resource
+// it is waiting for. It is the tool for diagnosing deadlocks and was used to
+// verify the protocol-deadlock demonstrations in the test suite.
+func (n *Network) DumpBlocked(w io.Writer) {
+	for i := range n.routers {
+		rt := &n.routers[i]
+		for p := 0; p < mesh.NumPorts; p++ {
+			for v := range rt.in[p] {
+				ivc := &rt.in[p][v]
+				if ivc.buf.len() == 0 {
+					continue
+				}
+				bf := ivc.buf.front()
+				f := bf.flit
+				reason := "ready"
+				switch {
+				case !ivc.routed:
+					reason = "awaiting RC (not head?)"
+				case ivc.route == mesh.Local:
+					reason = "awaiting ejection"
+				case ivc.outVC == -1:
+					op := &rt.out[ivc.route]
+					reason = fmt.Sprintf("awaiting VA on %s (owners=%v)", ivc.route, op.owner)
+				default:
+					op := &rt.out[ivc.route]
+					if op.credits[ivc.outVC] == 0 {
+						reason = fmt.Sprintf("no credit on %s vc%d", ivc.route, ivc.outVC)
+					}
+				}
+				fmt.Fprintf(w, "router %v in[%s][%d] occ=%d front=%v head=%v -> %s\n",
+					rt.coord, mesh.Direction(p), v, ivc.buf.len(), f.Pkt, f.Head, reason)
+			}
+		}
+	}
+	for i := range n.inj {
+		if n.inj[i].flits > 0 {
+			fmt.Fprintf(w, "inject queue node %d: %d flits queued\n", i, n.inj[i].flits)
+		}
+	}
+}

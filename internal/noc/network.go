@@ -1,0 +1,408 @@
+// Package noc implements the cycle-level 2D-mesh network-on-chip: wormhole
+// switching, virtual channels with credit-based flow control, the two-stage
+// router pipeline of Section 2.2, and pluggable routing algorithms and VC
+// partitioning policies.
+//
+// The network moves packet.Flit values between endpoint queues. Endpoints
+// (SM cores, memory controllers, or synthetic harnesses) inject whole
+// packets and receive flits through per-node sink callbacks; all
+// backpressure — finite VC buffers, finite injection queues, sinks that
+// refuse flits — is modelled, which is what makes protocol deadlock a real,
+// demonstrable phenomenon rather than an abstraction.
+package noc
+
+import (
+	"fmt"
+
+	"gpgpunoc/internal/config"
+	"gpgpunoc/internal/mesh"
+	"gpgpunoc/internal/packet"
+	"gpgpunoc/internal/routing"
+	"gpgpunoc/internal/stats"
+	"gpgpunoc/internal/vc"
+)
+
+// Sink receives one flit ejected at a node. Returning false refuses the flit
+// this cycle (it stays in the router and retries); the refusal propagates
+// backpressure into the network.
+type Sink func(f packet.Flit) bool
+
+// Tracer observes packet lifecycle events. Implementations must be cheap:
+// hooks run on the hot path (package trace provides buffered writers and an
+// in-memory collector). A nil tracer costs one predictable branch.
+type Tracer interface {
+	// PacketInjected fires when a packet's head flit enters its source
+	// router.
+	PacketInjected(p *packet.Packet, cycle int64)
+	// FlitHop fires for every flit crossing every inter-router link.
+	FlitHop(f packet.Flit, l mesh.Link, cycle int64)
+	// PacketEjected fires when a packet's tail flit reaches its sink.
+	PacketEjected(p *packet.Packet, cycle int64)
+}
+
+// Interconnect is the interface endpoints drive. Network implements it for a
+// single physical network; Dual implements it for the two-physical-subnets
+// comparison of Section 4.2.
+type Interconnect interface {
+	// Inject queues a whole packet for injection at its source node. It
+	// returns false when the node's injection queue lacks space; the caller
+	// retries later (and experiences backpressure).
+	Inject(p *packet.Packet) bool
+	// InjectSpace returns the free flit slots in the node's injection queue.
+	InjectSpace(node mesh.NodeID) int
+	// SetSink installs the ejection callback for a node.
+	SetSink(node mesh.NodeID, s Sink)
+	// Step advances the network one cycle.
+	Step()
+	// Cycle returns the number of completed cycles.
+	Cycle() int64
+	// Stats returns the collector (merged across subnets for Dual).
+	Stats() *stats.Net
+	// EnableStats toggles measurement collection (off during warmup).
+	EnableStats(on bool)
+	// FlitsInFlight returns flits buffered anywhere in the fabric,
+	// including injection queues.
+	FlitsInFlight() int
+	// Quiescent reports no movement for the trailing window cycles while
+	// flits remain in flight — the deadlock watchdog.
+	Quiescent(window int64) bool
+}
+
+// injQueue is a node's bounded injection FIFO, in flits.
+type injQueue struct {
+	pkts  []*packet.Packet // packets not yet fully injected
+	sent  int              // flits of pkts[0] already pushed into the router
+	flits int              // total flits queued (for capacity accounting)
+	cap   int
+	vc    int // local input VC receiving the current packet
+}
+
+// creditReturn defers a credit increment to the end of the cycle, modelling
+// a one-cycle credit loop uniformly regardless of router iteration order.
+type creditReturn struct {
+	node mesh.NodeID
+	dir  mesh.Direction // output port direction at the upstream router
+	vc   int
+}
+
+// Network is a single physical mesh NoC.
+type Network struct {
+	m     mesh.Mesh
+	alg   routing.Algorithm
+	pol   vc.Assigner
+	vcs   int
+	depth int
+
+	// pipeDelay is the minimum number of cycles between a flit's arrival in
+	// an input buffer and its switch traversal; 2 models the paper's
+	// two-stage router (RC/VA/SA in one cycle, ST in the next).
+	pipeDelay int64
+	// injRate is the node-to-router ingress bandwidth in flits/cycle.
+	injRate int
+	// linkPeriod is the cycles one flit occupies a link: 1 models the
+	// full-width channel; 2 models the half-width channels of an
+	// equal-resource physical subnet (Section 4.2).
+	linkPeriod int64
+
+	routers []router
+	inj     []injQueue
+	sinks   []Sink
+
+	credits []creditReturn // scratch, reused each cycle
+
+	stats    *stats.Net
+	tracer   Tracer
+	cycle    int64
+	moved    bool
+	lastMove int64
+	inFlight int // flits inside routers + injection queues
+}
+
+// Option tweaks network construction.
+type Option func(*Network)
+
+// WithPipelineDelay overrides the minimum buffer-to-switch residency in
+// cycles (default 2, the two-stage router of Section 2.2; 1 gives an
+// aggressive single-cycle router for ablations).
+func WithPipelineDelay(d int) Option {
+	return func(n *Network) { n.pipeDelay = int64(d) }
+}
+
+// WithLinkPeriod sets the cycles one flit occupies a link (default 1). Use
+// 2 to model half-width channels, e.g. an equal-wire-budget physical
+// subnetwork.
+func WithLinkPeriod(p int) Option {
+	return func(n *Network) {
+		if p < 1 {
+			p = 1
+		}
+		n.linkPeriod = int64(p)
+	}
+}
+
+// WithInjectionQueue overrides the per-node injection queue capacity in
+// flits (default 16).
+func WithInjectionQueue(flits int) Option {
+	return func(n *Network) {
+		for i := range n.inj {
+			n.inj[i].cap = flits
+		}
+	}
+}
+
+// New builds the network described by cfg with the given routing algorithm
+// and VC assigner (a vc.Policy or a link-aware partial-monopolizing
+// assigner). The caller is responsible for having validated the assigner
+// against the placement via the core package when safety matters;
+// deliberately unsafe configurations are allowed (and will deadlock).
+func New(cfg config.NoC, alg routing.Algorithm, pol vc.Assigner, opts ...Option) *Network {
+	m := mesh.New(cfg.Width, cfg.Height)
+	n := &Network{
+		m:          m,
+		alg:        alg,
+		pol:        pol,
+		vcs:        cfg.VCsPerPort,
+		depth:      cfg.VCDepth,
+		pipeDelay:  2,
+		injRate:    max(1, cfg.InjectionFlitsPerCycle),
+		linkPeriod: 1,
+		routers:    make([]router, m.NumNodes()),
+		inj:        make([]injQueue, m.NumNodes()),
+		sinks:      make([]Sink, m.NumNodes()),
+		stats:      stats.NewNet(m),
+	}
+	for id := range n.routers {
+		rt := &n.routers[id]
+		rt.init(mesh.NodeID(id), m, n.vcs, n.depth)
+		for d := mesh.North; d < mesh.Local; d++ {
+			op := &rt.out[d]
+			if !op.exists {
+				continue
+			}
+			l := mesh.Link{From: rt.id, Dir: d}
+			op.rng[packet.Request] = pol.RangeFor(l, op.orient, packet.Request)
+			op.rng[packet.Reply] = pol.RangeFor(l, op.orient, packet.Reply)
+		}
+	}
+	for i := range n.inj {
+		n.inj[i].cap = 16
+		n.inj[i].vc = -1
+	}
+	for _, o := range opts {
+		o(n)
+	}
+	return n
+}
+
+// Mesh returns the topology.
+func (n *Network) Mesh() mesh.Mesh { return n.m }
+
+// Stats returns the statistics collector.
+func (n *Network) Stats() *stats.Net { return n.stats }
+
+// EnableStats toggles measurement collection.
+func (n *Network) EnableStats(on bool) { n.stats.Enabled = on }
+
+// Cycle returns the current cycle count.
+func (n *Network) Cycle() int64 { return n.cycle }
+
+// FlitsInFlight returns the number of flits buffered in the fabric.
+func (n *Network) FlitsInFlight() int { return n.inFlight }
+
+// Quiescent reports whether nothing has moved for window cycles with flits
+// still in flight: the protocol-deadlock watchdog.
+func (n *Network) Quiescent(window int64) bool {
+	return n.inFlight > 0 && n.cycle-n.lastMove >= window
+}
+
+// Inject queues p at its source node. The packet's CreatedAt should already
+// be stamped by the caller; InjectedAt is stamped when the head flit enters
+// the router.
+func (n *Network) Inject(p *packet.Packet) bool {
+	q := &n.inj[p.Src]
+	if q.flits+p.Flits > q.cap {
+		return false
+	}
+	q.pkts = append(q.pkts, p)
+	q.flits += p.Flits
+	n.inFlight += p.Flits
+	return true
+}
+
+// InjectSpace returns free flit slots in the node's injection queue.
+func (n *Network) InjectSpace(node mesh.NodeID) int {
+	q := &n.inj[node]
+	return q.cap - q.flits
+}
+
+// SetSink installs the ejection callback for node.
+func (n *Network) SetSink(node mesh.NodeID, s Sink) { n.sinks[node] = s }
+
+// SetTracer installs a lifecycle observer (nil disables tracing).
+func (n *Network) SetTracer(tr Tracer) { n.tracer = tr }
+
+// sinkAccept offers f to the node's sink; true means the sink consumed it.
+func (n *Network) sinkAccept(node mesh.NodeID, f packet.Flit) bool {
+	s := n.sinks[node]
+	if s == nil {
+		panic(fmt.Sprintf("noc: ejection at node %d with no sink", node))
+	}
+	return s(f)
+}
+
+func (n *Network) queueCredit(node mesh.NodeID, inPort mesh.Direction, vcIdx int) {
+	// The upstream router's output port feeding (node, inPort) is the
+	// neighbour in direction inPort, output port opposite(inPort).
+	up, ok := n.m.Neighbor(n.m.Coord(node), inPort)
+	if !ok {
+		panic("noc: credit return for a port with no upstream link")
+	}
+	n.credits = append(n.credits, creditReturn{node: n.m.ID(up), dir: inPort.Opposite(), vc: vcIdx})
+}
+
+// injectPhase moves up to injRate flits per node from its injection queue
+// into local input VCs of its router.
+func (n *Network) injectPhase() {
+	for id := range n.inj {
+		q := &n.inj[id]
+		rt := &n.routers[id]
+		for budget := n.injRate; budget > 0 && len(q.pkts) > 0; {
+			p := q.pkts[0]
+			if q.sent == 0 {
+				// Pick the allowed local VC with the most free space; any
+				// choice is correct (flits within a VC stay FIFO), emptiest
+				// balances load.
+				r := n.pol.RangeFor(mesh.Link{From: mesh.NodeID(id), Dir: mesh.Local}, mesh.LocalPort, p.Class())
+				best, bestFree := -1, 0
+				for v := r.Lo; v < r.Hi; v++ {
+					if free := rt.in[mesh.Local][v].buf.free(); free > bestFree {
+						best, bestFree = v, free
+					}
+				}
+				if best == -1 {
+					break // all local VCs full; retry next cycle
+				}
+				q.vc = best
+				p.InjectedAt = n.cycle
+				n.stats.CountInjection(p)
+				if n.tracer != nil {
+					n.tracer.PacketInjected(p, n.cycle)
+				}
+			}
+			ivc := &rt.in[mesh.Local][q.vc]
+			for budget > 0 && q.sent < p.Flits && ivc.buf.free() > 0 {
+				f := packet.Flit{Pkt: p, Seq: q.sent, Head: q.sent == 0, Tail: q.sent == p.Flits-1}
+				ivc.buf.push(f, n.cycle)
+				q.sent++
+				q.flits--
+				budget--
+				n.moved = true
+			}
+			if q.sent < p.Flits {
+				break // out of budget or VC space mid-packet
+			}
+			q.pkts = q.pkts[1:]
+			q.sent = 0
+			q.vc = -1
+		}
+	}
+}
+
+// Step advances the network by one cycle: injection, router pipelines
+// (RC/VA/SA/ST), then link traversal and credit returns.
+func (n *Network) Step() {
+	n.moved = false
+	n.injectPhase()
+
+	for i := range n.routers {
+		rt := &n.routers[i]
+		n.routeCompute(rt)
+		n.vcAllocate(rt)
+		n.switchAllocateAndTraverse(rt)
+	}
+
+	// Link phase: flits that have completed their link occupancy arrive at
+	// downstream buffers; a half-width link (period 2) holds each flit an
+	// extra cycle, blocking the next switch traversal through that port.
+	for i := range n.routers {
+		rt := &n.routers[i]
+		for d := mesh.North; d < mesh.Local; d++ {
+			op := &rt.out[d]
+			if !op.exists || !op.regValid || op.regReadyAt > n.cycle {
+				continue
+			}
+			down := &n.routers[op.downNode]
+			down.in[op.downPort][op.regVC].buf.push(op.reg, n.cycle)
+			op.regValid = false
+		}
+	}
+
+	// Credit phase: freed buffer slots become upstream credits.
+	for _, c := range n.credits {
+		n.routers[c.node].out[c.dir].credits[c.vc]++
+	}
+	n.credits = n.credits[:0]
+
+	if n.moved {
+		n.lastMove = n.cycle
+	}
+	n.cycle++
+	n.stats.Cycles = n.cycle
+}
+
+// Drain runs the network until no flits remain in flight or maxCycles pass;
+// it returns true if the network drained. Useful in tests.
+func (n *Network) Drain(maxCycles int) bool {
+	for i := 0; i < maxCycles && n.inFlight > 0; i++ {
+		n.Step()
+	}
+	return n.inFlight == 0
+}
+
+// CheckInvariants validates internal consistency (buffer occupancy vs credit
+// accounting); tests call it after stepping.
+func (n *Network) CheckInvariants() error {
+	count := 0
+	for i := range n.routers {
+		rt := &n.routers[i]
+		for p := 0; p < mesh.NumPorts; p++ {
+			for v := range rt.in[p] {
+				count += rt.in[p][v].buf.len()
+			}
+		}
+		for d := mesh.North; d < mesh.Local; d++ {
+			op := &rt.out[d]
+			if !op.exists {
+				continue
+			}
+			if op.regValid {
+				count++
+			}
+			for vcIdx, cr := range op.credits {
+				down := &n.routers[op.downNode]
+				occ := down.in[op.downPort][vcIdx].buf.len()
+				pending := 0
+				for _, c := range n.credits {
+					if c.node == rt.id && c.dir == d && c.vc == vcIdx {
+						pending++
+					}
+				}
+				inReg := 0
+				if op.regValid && op.regVC == vcIdx {
+					inReg = 1
+				}
+				if cr+occ+pending+inReg != n.depth {
+					return fmt.Errorf("noc: credit leak at %v out %s vc %d: credits %d + occupancy %d + pending %d + reg %d != depth %d",
+						rt.coord, d, vcIdx, cr, occ, pending, inReg, n.depth)
+				}
+			}
+		}
+	}
+	for i := range n.inj {
+		count += n.inj[i].flits
+	}
+	if count != n.inFlight {
+		return fmt.Errorf("noc: flit conservation broken: counted %d, tracked %d", count, n.inFlight)
+	}
+	return nil
+}

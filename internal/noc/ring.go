@@ -1,0 +1,48 @@
+package noc
+
+import "gpgpunoc/internal/packet"
+
+// bufFlit is a buffered flit plus the cycle it entered the buffer; the
+// router's pipeline delay is enforced against the arrival stamp.
+type bufFlit struct {
+	flit    packet.Flit
+	arrived int64
+}
+
+// ring is a fixed-capacity FIFO of buffered flits. It models one VC buffer;
+// capacity equals the VC depth and never reallocates on the hot path.
+type ring struct {
+	buf  []bufFlit
+	head int
+	n    int
+}
+
+func newRing(capacity int) ring {
+	return ring{buf: make([]bufFlit, capacity)}
+}
+
+func (r *ring) len() int  { return r.n }
+func (r *ring) cap() int  { return len(r.buf) }
+func (r *ring) free() int { return len(r.buf) - r.n }
+
+func (r *ring) push(f packet.Flit, cycle int64) {
+	if r.n == len(r.buf) {
+		panic("noc: VC buffer overflow; credit accounting is broken")
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = bufFlit{flit: f, arrived: cycle}
+	r.n++
+}
+
+func (r *ring) front() bufFlit {
+	if r.n == 0 {
+		panic("noc: front of empty VC buffer")
+	}
+	return r.buf[r.head]
+}
+
+func (r *ring) pop() bufFlit {
+	f := r.front()
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return f
+}

@@ -1,0 +1,291 @@
+package noc
+
+import (
+	"gpgpunoc/internal/mesh"
+	"gpgpunoc/internal/packet"
+	"gpgpunoc/internal/vc"
+)
+
+// inputVC is one virtual channel at a router input port. The front packet's
+// routing state lives here: wormhole switching routes per packet, and flits
+// of at most one packet are in flight through the switch from a VC at a time.
+type inputVC struct {
+	buf    ring
+	routed bool           // front packet's route computed
+	route  mesh.Direction // output port of the front packet
+	outVC  int            // allocated downstream VC, -1 if none
+}
+
+const noOwner = -1
+
+// outPort is a router output port: the downstream credit state per VC, the
+// VC ownership table, and the single-flit link register feeding the
+// downstream router.
+type outPort struct {
+	exists   bool
+	downNode mesh.NodeID    // downstream router
+	downPort mesh.Direction // input port at the downstream router
+	orient   mesh.Orientation
+
+	credits []int                       // free downstream buffer slots per VC
+	owner   []int                       // per VC: owning input (port*V + vc) or noOwner
+	rng     [packet.NumClasses]vc.Range // per-class allowed VCs on this link
+
+	reg        packet.Flit // flit traversing the link
+	regVC      int
+	regValid   bool
+	regReadyAt int64 // cycle the flit completes link traversal
+}
+
+// router is one 5-port VC router. The microarchitecture follows Section 2.2:
+// two pipeline stages (RC+VA+SA, then ST) with lookahead-style single-cycle
+// route computation, separable round-robin VC and switch allocation, and
+// credit-based flow control.
+type router struct {
+	id    mesh.NodeID
+	coord mesh.Coord
+
+	in  [mesh.NumPorts][]inputVC
+	out [mesh.NumPorts]outPort
+
+	// Round-robin pointers for fair, deterministic arbitration.
+	vaPtr   [mesh.NumPorts]int // per output port, over input (port*V+vc)
+	saVCPtr [mesh.NumPorts]int // per input port, over its VCs
+	saPtr   [mesh.NumPorts]int // per output port, over input ports
+
+	// reqScratch collects VA requesters per output direction each cycle,
+	// avoiding a full input scan per output VC.
+	reqScratch [mesh.NumLinkDirs][]int
+}
+
+func (rt *router) init(id mesh.NodeID, m mesh.Mesh, vcs, depth int) {
+	rt.id = id
+	rt.coord = m.Coord(id)
+	for p := 0; p < mesh.NumPorts; p++ {
+		rt.in[p] = make([]inputVC, vcs)
+		for v := range rt.in[p] {
+			rt.in[p][v] = inputVC{buf: newRing(depth), outVC: -1}
+		}
+	}
+	for d := mesh.North; d < mesh.Local; d++ {
+		n, ok := m.Neighbor(rt.coord, d)
+		if !ok {
+			continue
+		}
+		op := &rt.out[d]
+		op.exists = true
+		op.downNode = m.ID(n)
+		op.downPort = d.Opposite()
+		op.orient = d.Orientation()
+		op.credits = make([]int, vcs)
+		op.owner = make([]int, vcs)
+		for v := range op.credits {
+			op.credits[v] = depth
+			op.owner[v] = noOwner
+		}
+	}
+	// The local output port ejects to the attached node; it has no VCs or
+	// credits — the node's sink callback provides backpressure.
+	rt.out[mesh.Local] = outPort{exists: true, downNode: id, downPort: mesh.Local, orient: mesh.LocalPort}
+	for d := range rt.reqScratch {
+		rt.reqScratch[d] = make([]int, 0, mesh.NumPorts*vcs)
+	}
+}
+
+// routeCompute runs RC for every input VC whose front flit is an unrouted
+// head.
+func (n *Network) routeCompute(rt *router) {
+	for p := 0; p < mesh.NumPorts; p++ {
+		for v := range rt.in[p] {
+			ivc := &rt.in[p][v]
+			if ivc.routed || ivc.buf.len() == 0 {
+				continue
+			}
+			f := ivc.buf.front().flit
+			if !f.Head {
+				// A body flit at the front of an unrouted VC means the
+				// head already left and released state — impossible under
+				// wormhole discipline.
+				panic("noc: body flit at front of unrouted VC")
+			}
+			ivc.route = n.alg.NextHop(rt.coord, n.m.Coord(mesh.NodeID(f.Pkt.Dst)), f.Pkt.Class())
+			ivc.routed = true
+		}
+	}
+}
+
+// vcAllocate runs separable VC allocation: each free output VC is granted to
+// at most one requesting input VC whose policy range admits it, in
+// round-robin order over inputs.
+func (n *Network) vcAllocate(rt *router) {
+	V := n.vcs
+	total := mesh.NumPorts * V
+	// Gather requesters once: input VCs whose front flit is a routed head
+	// awaiting an output VC.
+	for d := range rt.reqScratch {
+		rt.reqScratch[d] = rt.reqScratch[d][:0]
+	}
+	any := false
+	for p := 0; p < mesh.NumPorts; p++ {
+		for v := 0; v < V; v++ {
+			ivc := &rt.in[p][v]
+			if !ivc.routed || ivc.outVC != -1 || ivc.route == mesh.Local || ivc.buf.len() == 0 {
+				continue
+			}
+			if !ivc.buf.front().flit.Head {
+				continue
+			}
+			rt.reqScratch[ivc.route] = append(rt.reqScratch[ivc.route], p*V+v)
+			any = true
+		}
+	}
+	if !any {
+		return
+	}
+	for d := mesh.North; d < mesh.Local; d++ {
+		op := &rt.out[d]
+		reqs := rt.reqScratch[d]
+		if !op.exists || len(reqs) == 0 {
+			continue
+		}
+		for ovc := 0; ovc < V; ovc++ {
+			if op.owner[ovc] != noOwner {
+				continue
+			}
+			// Grant to the eligible requester closest after the round-robin
+			// pointer.
+			bestK, bestDist := -1, total+1
+			for k, idx := range reqs {
+				if idx < 0 {
+					continue
+				}
+				ivc := &rt.in[idx/V][idx%V]
+				cls := ivc.buf.front().flit.Pkt.Class()
+				if !op.rng[cls].Contains(ovc) {
+					continue
+				}
+				if dist := (idx - rt.vaPtr[d] + total) % total; dist < bestDist {
+					bestK, bestDist = k, dist
+				}
+			}
+			if bestK < 0 {
+				continue
+			}
+			idx := reqs[bestK]
+			op.owner[ovc] = idx
+			rt.in[idx/V][idx%V].outVC = ovc
+			reqs[bestK] = -1 // granted; no second VC this cycle
+			rt.vaPtr[d] = (idx + 1) % total
+		}
+	}
+}
+
+// sendable reports whether input VC (p,v) can move its front flit through
+// output d this cycle, ignoring switch contention (that is SA's job). For
+// ejection the final say belongs to the sink at traversal time.
+func (n *Network) sendable(rt *router, p, v int, d mesh.Direction) bool {
+	ivc := &rt.in[p][v]
+	if ivc.buf.len() == 0 || !ivc.routed || ivc.route != d {
+		return false
+	}
+	if n.cycle < ivc.buf.front().arrived+n.pipeDelay {
+		return false // still in the first pipeline stage
+	}
+	if d == mesh.Local {
+		return n.sinks[rt.id] != nil
+	}
+	op := &rt.out[d]
+	return ivc.outVC != -1 && op.exists && !op.regValid && op.credits[ivc.outVC] > 0
+}
+
+// switchAllocateAndTraverse runs SA and ST: each output port grants at most
+// one flit per cycle, each input port sends at most one flit per cycle, and
+// arbitration is round-robin over (input port, VC) pairs. A sink refusal
+// (full MC queue) does not mask other candidates — the scan continues with
+// the remaining VCs and ports, which is essential to avoid artificial
+// wedging when an ejection-blocked packet shares a port with through
+// traffic.
+func (n *Network) switchAllocateAndTraverse(rt *router) {
+	V := n.vcs
+	var usedInput [mesh.NumPorts]bool
+	for d := mesh.Direction(0); d < mesh.NumPorts; d++ {
+		op := &rt.out[d]
+		if !op.exists {
+			continue
+		}
+		if d != mesh.Local && op.regValid {
+			continue
+		}
+	grant:
+		for k := 0; k < mesh.NumPorts; k++ {
+			p := (rt.saPtr[d] + k) % mesh.NumPorts
+			if usedInput[p] {
+				continue
+			}
+			for j := 0; j < V; j++ {
+				v := (rt.saVCPtr[p] + j) % V
+				if !n.sendable(rt, p, v, d) {
+					continue
+				}
+				if !n.traverse(rt, p, v, d) {
+					continue // sink refused this packet; try the next VC
+				}
+				usedInput[p] = true
+				rt.saPtr[d] = (p + 1) % mesh.NumPorts
+				rt.saVCPtr[p] = (v + 1) % V
+				break grant
+			}
+		}
+	}
+}
+
+// traverse moves the front flit of input VC (p,v) through output d. It
+// returns false when a sink refuses the flit (ejection only); nothing moves
+// in that case.
+func (n *Network) traverse(rt *router, p, v int, d mesh.Direction) bool {
+	ivc := &rt.in[p][v]
+	if d == mesh.Local && !n.sinkAccept(rt.id, ivc.buf.front().flit) {
+		return false
+	}
+	bf := ivc.buf.pop()
+	f := bf.flit
+
+	// Return a credit upstream for the freed buffer slot (not for the
+	// injection port: the injection queue tracks its own space).
+	if p != int(mesh.Local) {
+		n.queueCredit(rt.id, mesh.Direction(p), v)
+	}
+
+	if d == mesh.Local {
+		n.inFlight--
+		if f.Tail {
+			f.Pkt.EjectedAt = n.cycle
+			n.stats.CountEjection(f.Pkt)
+			if n.tracer != nil {
+				n.tracer.PacketEjected(f.Pkt, n.cycle)
+			}
+		}
+	} else {
+		op := &rt.out[d]
+		op.credits[ivc.outVC]--
+		op.reg = f
+		op.regVC = ivc.outVC
+		op.regValid = true
+		op.regReadyAt = n.cycle + n.linkPeriod - 1
+		n.stats.CountLink(mesh.Link{From: rt.id, Dir: d}, f.Pkt.Class())
+		if n.tracer != nil {
+			n.tracer.FlitHop(f, mesh.Link{From: rt.id, Dir: d}, n.cycle)
+		}
+	}
+
+	if f.Tail {
+		// Release the output VC and the per-packet routing state.
+		if d != mesh.Local {
+			rt.out[d].owner[ivc.outVC] = noOwner
+		}
+		ivc.routed = false
+		ivc.outVC = -1
+	}
+	n.moved = true
+	return true
+}

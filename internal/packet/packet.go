@@ -1,0 +1,150 @@
+// Package packet defines the messages carried by the GPGPU on-chip network:
+// four packet types (read/write x request/reply), the two traffic classes the
+// deadlock-avoidance machinery cares about, and flit framing for wormhole
+// switching.
+//
+// Packet sizes follow Section 3.1.1 of the paper: read requests and write
+// replies are short single-flit packets; read replies and write requests are
+// long packets carrying a cache line (5 flits: head + 4 data flits for a
+// 128-byte line on a 32-byte channel).
+package packet
+
+import "fmt"
+
+// Class separates the two protocol levels that must not block each other:
+// requests (cores -> MCs) and replies (MCs -> cores). Protocol deadlock
+// freedom requires that a reply can always make progress even when every
+// request in flight is stalled; VC policies express that in terms of Class.
+type Class uint8
+
+const (
+	Request Class = iota
+	Reply
+	// NumClasses is the number of traffic classes.
+	NumClasses = 2
+)
+
+// String returns "request" or "reply".
+func (c Class) String() string {
+	if c == Request {
+		return "request"
+	}
+	return "reply"
+}
+
+// Other returns the opposite class.
+func (c Class) Other() Class { return 1 - c }
+
+// Type identifies the protocol message a packet carries.
+type Type uint8
+
+const (
+	ReadRequest Type = iota
+	WriteRequest
+	ReadReply
+	WriteReply
+	// NumTypes is the number of packet types.
+	NumTypes = 4
+)
+
+var typeNames = [NumTypes]string{"READ-REQUEST", "WRITE-REQUEST", "READ-REPLY", "WRITE-REPLY"}
+
+// String returns the packet type name as used in the paper's Figure 3.
+func (t Type) String() string {
+	if int(t) < len(typeNames) {
+		return typeNames[t]
+	}
+	return fmt.Sprintf("Type(%d)", uint8(t))
+}
+
+// Class returns the traffic class of the packet type.
+func (t Type) Class() Class {
+	if t == ReadRequest || t == WriteRequest {
+		return Request
+	}
+	return Reply
+}
+
+// IsRead reports whether the type belongs to a read transaction.
+func (t Type) IsRead() bool { return t == ReadRequest || t == ReadReply }
+
+// Reply returns the reply type matching a request type. It panics on a reply
+// type: generating a reply to a reply is a protocol bug.
+func (t Type) Reply() Type {
+	switch t {
+	case ReadRequest:
+		return ReadReply
+	case WriteRequest:
+		return WriteReply
+	}
+	panic("packet: Reply called on non-request type " + t.String())
+}
+
+// Default packet lengths in flits (Section 3.1.1).
+const (
+	ShortFlits = 1 // read request, write reply
+	LongFlits  = 5 // read reply, write request: head + 128B line / 32B flits
+)
+
+// Length returns the number of flits a packet of type t occupies with the
+// default framing.
+func Length(t Type) int {
+	if t == ReadRequest || t == WriteReply {
+		return ShortFlits
+	}
+	return LongFlits
+}
+
+// MemAccess is the memory-system payload a packet carries end to end. The
+// network does not interpret it; SMs and MCs do.
+type MemAccess struct {
+	Addr   uint64 // line-aligned byte address
+	SM     int    // issuing SM index (reply destination lookup)
+	Warp   int    // issuing warp within the SM
+	MSHR   int    // MSHR slot to wake on reply delivery
+	IsInst bool   // instruction fetch (unused by data-only workloads)
+}
+
+// Packet is one network message. A packet is created at injection, carried as
+// a sequence of flits, and reassembled implicitly at ejection (wormhole
+// switching delivers flits in order on a single path, so the tail's arrival
+// completes the packet).
+type Packet struct {
+	ID       uint64
+	Type     Type
+	Src, Dst int // node IDs in the mesh
+	Flits    int // total length in flits
+
+	Access MemAccess
+
+	// Timestamps for latency accounting, in network cycles.
+	CreatedAt  int64 // when the source queued the packet
+	InjectedAt int64 // when the head flit entered the network
+	EjectedAt  int64 // when the tail flit left the network
+}
+
+// Class returns the packet's traffic class.
+func (p *Packet) Class() Class { return p.Type.Class() }
+
+// String summarizes the packet for diagnostics.
+func (p *Packet) String() string {
+	return fmt.Sprintf("pkt#%d %s %d->%d (%df)", p.ID, p.Type, p.Src, p.Dst, p.Flits)
+}
+
+// Flit is the unit of flow control. Flits of one packet travel the same path
+// (wormhole switching); only head flits carry routing state.
+type Flit struct {
+	Pkt  *Packet
+	Seq  int // 0-based position within the packet
+	Head bool
+	Tail bool
+}
+
+// Flitize expands a packet into its flit sequence.
+func Flitize(p *Packet) []Flit {
+	fs := make([]Flit, p.Flits)
+	for i := range fs {
+		fs[i] = Flit{Pkt: p, Seq: i, Head: i == 0, Tail: i == p.Flits-1}
+	}
+	return fs
+}

@@ -1,0 +1,304 @@
+// Package placement implements the memory-controller placement schemes of
+// Figure 5 and the hop-count analysis of Section 3.1.2 (Equation 3 and
+// Table 1).
+//
+// A placement assigns k MC tiles in a WxH mesh; all remaining tiles are SM
+// cores. The paper studies bottom, edge, top-bottom and diamond; top is
+// included for completeness (it is bottom mirrored and analytically
+// identical).
+package placement
+
+import (
+	"fmt"
+	"sort"
+
+	"gpgpunoc/internal/config"
+	"gpgpunoc/internal/mesh"
+)
+
+// Placement is a concrete MC placement on a mesh.
+type Placement struct {
+	Scheme config.Placement
+	Mesh   mesh.Mesh
+	// MCs lists MC coordinates in address-interleaving order: the i-th MC
+	// owns every cache line L with (L/lineSize) mod k == i.
+	MCs []mesh.Coord
+
+	isMC []bool
+	mcAt []int // node -> MC index or -1
+}
+
+// New builds the named placement for an 8x8-style mesh with numMCs
+// controllers. Width and height must be even and >= 4 for the distributed
+// schemes to be well formed; the Table 2 system is 8x8 with 8 MCs.
+func New(scheme config.Placement, m mesh.Mesh, numMCs int) (*Placement, error) {
+	coords, err := coordsFor(scheme, m, numMCs)
+	if err != nil {
+		return nil, err
+	}
+	p := &Placement{
+		Scheme: scheme,
+		Mesh:   m,
+		MCs:    coords,
+		isMC:   make([]bool, m.NumNodes()),
+		mcAt:   make([]int, m.NumNodes()),
+	}
+	for i := range p.mcAt {
+		p.mcAt[i] = -1
+	}
+	for i, c := range coords {
+		id := m.ID(c)
+		if p.isMC[id] {
+			return nil, fmt.Errorf("placement: duplicate MC tile %v in %q", c, scheme)
+		}
+		p.isMC[id] = true
+		p.mcAt[id] = i
+	}
+	return p, nil
+}
+
+// MustNew is New panicking on error, for tests and fixed-shape experiments.
+func MustNew(scheme config.Placement, m mesh.Mesh, numMCs int) *Placement {
+	p, err := New(scheme, m, numMCs)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func coordsFor(scheme config.Placement, m mesh.Mesh, k int) ([]mesh.Coord, error) {
+	W, H := m.Width, m.Height
+	switch scheme {
+	case config.PlacementBottom:
+		if k > W {
+			return nil, fmt.Errorf("placement: bottom row holds %d tiles, need %d", W, k)
+		}
+		return rowCoords(H-1, spread(W, k)), nil
+
+	case config.PlacementTop:
+		if k > W {
+			return nil, fmt.Errorf("placement: top row holds %d tiles, need %d", W, k)
+		}
+		return rowCoords(0, spread(W, k)), nil
+
+	case config.PlacementTopBottom:
+		// Half the MCs on the top row, half on the bottom, staggered so no
+		// column holds two MCs (k <= W). Figure 5(c).
+		if k%2 != 0 || k > W {
+			return nil, fmt.Errorf("placement: top-bottom needs an even count <= %d, got %d", W, k)
+		}
+		top := spreadOffset(W, k/2, 0)
+		bot := spreadOffset(W, k/2, 1)
+		coords := rowCoords(0, top)
+		coords = append(coords, rowCoords(H-1, bot)...)
+		return coords, nil
+
+	case config.PlacementEdge:
+		// MCs distributed around the perimeter, one pair per side for k=8.
+		// Figure 5(b). General form: round-robin sides, spread along each.
+		return edgeCoords(m, k)
+
+	case config.PlacementDiamond:
+		// Rhombus outline centred in the mesh, after Abts et al. [2]:
+		// vertex pairs on the top/bottom interior rows, flank pairs on the
+		// middle rows. Figure 5(d). Defined for even meshes >= 6x6 and k=8;
+		// other counts fall back to a diagonal scatter with the same
+		// "interior, spread in both dimensions" character.
+		return diamondCoords(m, k)
+
+	default:
+		return nil, fmt.Errorf("placement: unknown scheme %q", scheme)
+	}
+}
+
+// spread returns k column indices evenly spread over [0,W).
+func spread(w, k int) []int { return spreadOffset(w, k, 0) }
+
+// spreadOffset spreads k indices over [0,W) with an integer phase shift so
+// two calls with phases 0 and 1 interleave (used by top-bottom staggering):
+// spreadOffset(8,4,0) = {0,2,4,6}, spreadOffset(8,4,1) = {1,3,5,7}.
+func spreadOffset(w, k, phase int) []int {
+	cols := make([]int, k)
+	for i := 0; i < k; i++ {
+		cols[i] = i*w/k + phase
+		if cols[i] >= w {
+			cols[i] = w - 1
+		}
+	}
+	return dedupAdjust(cols, w)
+}
+
+// dedupAdjust resolves collisions from integer rounding by shifting right.
+func dedupAdjust(cols []int, w int) []int {
+	sort.Ints(cols)
+	for i := 1; i < len(cols); i++ {
+		if cols[i] <= cols[i-1] {
+			cols[i] = cols[i-1] + 1
+		}
+	}
+	for i := len(cols) - 1; i >= 0; i-- {
+		if cols[i] >= w {
+			cols[i] = w - 1
+		}
+		if i < len(cols)-1 && cols[i] >= cols[i+1] {
+			cols[i] = cols[i+1] - 1
+		}
+	}
+	return cols
+}
+
+func rowCoords(row int, cols []int) []mesh.Coord {
+	cs := make([]mesh.Coord, len(cols))
+	for i, c := range cols {
+		cs[i] = mesh.Coord{Row: row, Col: c}
+	}
+	return cs
+}
+
+func edgeCoords(m mesh.Mesh, k int) ([]mesh.Coord, error) {
+	W, H := m.Width, m.Height
+	if k%4 != 0 {
+		return nil, fmt.Errorf("placement: edge needs a multiple of 4 MCs, got %d", k)
+	}
+	// Walk the perimeter ring clockwise from the top-left corner and drop
+	// MCs at even spacing. For the 8x8/8-MC system this yields the four
+	// corners plus one mid-side tile per side, matching the pad-ring style
+	// edge placement whose average hop count sits between bottom and
+	// top-bottom (Section 3.1.2's ordering).
+	ring := make([]mesh.Coord, 0, 2*(W+H)-4)
+	for c := 0; c < W; c++ {
+		ring = append(ring, mesh.Coord{Row: 0, Col: c})
+	}
+	for r := 1; r < H; r++ {
+		ring = append(ring, mesh.Coord{Row: r, Col: W - 1})
+	}
+	for c := W - 2; c >= 0; c-- {
+		ring = append(ring, mesh.Coord{Row: H - 1, Col: c})
+	}
+	for r := H - 2; r >= 1; r-- {
+		ring = append(ring, mesh.Coord{Row: r, Col: 0})
+	}
+	if k > len(ring) {
+		return nil, fmt.Errorf("placement: edge ring holds %d tiles, need %d", len(ring), k)
+	}
+	coords := make([]mesh.Coord, k)
+	for i := 0; i < k; i++ {
+		coords[i] = ring[i*len(ring)/k]
+	}
+	return coords, nil
+}
+
+func diamondCoords(m mesh.Mesh, k int) ([]mesh.Coord, error) {
+	W, H := m.Width, m.Height
+	if k == 8 && W >= 6 && H >= 6 {
+		// Rhombus outline for the canonical 8-MC system. For 8x8:
+		// (1,3)(1,4) top vertex pair, (3,1)(3,6)(4,1)(4,6) flanks,
+		// (6,3)(6,4) bottom vertex pair.
+		t, b := 1, H-2
+		l, r := 1, W-2
+		mt, mb := H/2-1, H/2
+		cl, cr := W/2-1, W/2
+		return []mesh.Coord{
+			{Row: t, Col: cl}, {Row: t, Col: cr},
+			{Row: mt, Col: l}, {Row: mt, Col: r},
+			{Row: mb, Col: l}, {Row: mb, Col: r},
+			{Row: b, Col: cl}, {Row: b, Col: cr},
+		}, nil
+	}
+	// Fallback: staggered interior diagonal scatter.
+	if k > W*H/2 {
+		return nil, fmt.Errorf("placement: diamond cannot place %d MCs in %dx%d", k, W, H)
+	}
+	coords := make([]mesh.Coord, 0, k)
+	for i := 0; i < k; i++ {
+		row := 1 + (i*(H-2))/k
+		col := (row*2 + i*3) % W
+		coords = append(coords, mesh.Coord{Row: row, Col: col})
+	}
+	// Resolve duplicates by linear probing across columns.
+	seen := map[mesh.Coord]bool{}
+	for i, c := range coords {
+		for seen[c] {
+			c.Col = (c.Col + 1) % W
+		}
+		seen[c] = true
+		coords[i] = c
+	}
+	return coords, nil
+}
+
+// IsMC reports whether node id is a memory controller tile.
+func (p *Placement) IsMC(id mesh.NodeID) bool { return p.isMC[id] }
+
+// MCIndex returns the MC index at node id, or -1 for core tiles.
+func (p *Placement) MCIndex(id mesh.NodeID) int { return p.mcAt[id] }
+
+// MCNode returns the node ID of the i-th MC.
+func (p *Placement) MCNode(i int) mesh.NodeID { return p.Mesh.ID(p.MCs[i]) }
+
+// Cores returns the node IDs of all non-MC tiles in row-major order. The
+// i-th SM of the simulated GPU occupies Cores()[i].
+func (p *Placement) Cores() []mesh.NodeID {
+	cores := make([]mesh.NodeID, 0, p.Mesh.NumNodes()-len(p.MCs))
+	for id := mesh.NodeID(0); int(id) < p.Mesh.NumNodes(); id++ {
+		if !p.isMC[id] {
+			cores = append(cores, id)
+		}
+	}
+	return cores
+}
+
+// HomeMC returns the index of the MC owning the cache line containing addr,
+// interleaving consecutive lines across MCs so traffic spreads uniformly.
+func (p *Placement) HomeMC(addr uint64, lineBytes int) int {
+	return int((addr / uint64(lineBytes)) % uint64(len(p.MCs)))
+}
+
+// AverageHops evaluates Equation 3 exactly: the mean Manhattan distance over
+// every (core, MC) pair. It also returns the aggregate vertical and
+// horizontal hop totals that Table 1 tabulates.
+func (p *Placement) AverageHops() (avg float64, vert, hori int) {
+	for id := mesh.NodeID(0); int(id) < p.Mesh.NumNodes(); id++ {
+		if p.isMC[id] {
+			continue
+		}
+		c := p.Mesh.Coord(id)
+		for _, mc := range p.MCs {
+			vert += absInt(mc.Row - c.Row)
+			hori += absInt(mc.Col - c.Col)
+		}
+	}
+	paths := (p.Mesh.NumNodes() - len(p.MCs)) * len(p.MCs)
+	if paths == 0 {
+		return 0, 0, 0
+	}
+	return float64(vert+hori) / float64(paths), vert, hori
+}
+
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Table1 evaluates the paper's closed-form aggregate hop counts for an NxN
+// mesh with N MCs (Table 1). The diamond row is marked approximate in the
+// paper; Table1 reproduces the printed formulas as-is so tests can compare
+// them against exact enumeration.
+func Table1(scheme config.Placement, n int) (vert, hori float64, exact bool) {
+	N := float64(n)
+	switch scheme {
+	case config.PlacementBottom, config.PlacementTop:
+		return N * N * N * (N - 1) / 2, N * (N + 1) * (N - 1) * (N - 1) / 3, true
+	case config.PlacementEdge:
+		return N * N * (N - 1) * (N - 1) / 2, N * (N + 1) * (N - 1) * (N - 1) / 3, false
+	case config.PlacementTopBottom:
+		return N * N * (N - 1) * (N - 1) / 2, N * (N + 1) * (N - 1) * (N - 1) / 3, true
+	case config.PlacementDiamond:
+		v := N * N * (N + 1) * (N - 2) / 8
+		return v, v, false
+	default:
+		return 0, 0, false
+	}
+}

@@ -1,0 +1,285 @@
+package placement
+
+import (
+	"math"
+	"testing"
+
+	"gpgpunoc/internal/config"
+	"gpgpunoc/internal/mesh"
+)
+
+var m8 = mesh.New(8, 8)
+
+func allSchemes() []config.Placement {
+	return []config.Placement{
+		config.PlacementBottom, config.PlacementTop, config.PlacementEdge,
+		config.PlacementTopBottom, config.PlacementDiamond,
+	}
+}
+
+func TestEverySchemeBuilds(t *testing.T) {
+	for _, s := range allSchemes() {
+		p, err := New(s, m8, 8)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if len(p.MCs) != 8 {
+			t.Errorf("%s: %d MCs, want 8", s, len(p.MCs))
+		}
+		seen := map[mesh.Coord]bool{}
+		for _, c := range p.MCs {
+			if !m8.Contains(c) {
+				t.Errorf("%s: MC %v outside mesh", s, c)
+			}
+			if seen[c] {
+				t.Errorf("%s: duplicate MC at %v", s, c)
+			}
+			seen[c] = true
+		}
+		if got := len(p.Cores()); got != 56 {
+			t.Errorf("%s: %d cores, want 56", s, got)
+		}
+	}
+}
+
+func TestBottomPlacementRow(t *testing.T) {
+	p := MustNew(config.PlacementBottom, m8, 8)
+	for i, c := range p.MCs {
+		if c.Row != 7 {
+			t.Errorf("bottom MC %d at row %d, want 7", i, c.Row)
+		}
+		if c.Col != i {
+			t.Errorf("bottom MC %d at col %d, want %d", i, c.Col, i)
+		}
+	}
+}
+
+func TestTopBottomStaggered(t *testing.T) {
+	p := MustNew(config.PlacementTopBottom, m8, 8)
+	top, bottom := 0, 0
+	cols := map[int]int{}
+	for _, c := range p.MCs {
+		switch c.Row {
+		case 0:
+			top++
+		case 7:
+			bottom++
+		default:
+			t.Errorf("top-bottom MC at interior row %d", c.Row)
+		}
+		cols[c.Col]++
+	}
+	if top != 4 || bottom != 4 {
+		t.Errorf("top-bottom split = %d/%d, want 4/4", top, bottom)
+	}
+	for col, n := range cols {
+		if n > 1 {
+			t.Errorf("column %d holds %d MCs; staggering should give one each", col, n)
+		}
+	}
+}
+
+func TestEdgeOnPerimeter(t *testing.T) {
+	p := MustNew(config.PlacementEdge, m8, 8)
+	sides := map[string]int{}
+	for _, c := range p.MCs {
+		onEdge := c.Row == 0 || c.Row == 7 || c.Col == 0 || c.Col == 7
+		if !onEdge {
+			t.Errorf("edge MC %v not on perimeter", c)
+		}
+		if c.Row == 0 {
+			sides["top"]++
+		}
+		if c.Row == 7 {
+			sides["bottom"]++
+		}
+		if c.Col == 0 {
+			sides["left"]++
+		}
+		if c.Col == 7 {
+			sides["right"]++
+		}
+	}
+	// Every side of the chip must host MCs (corners count for two sides).
+	for _, side := range []string{"top", "bottom", "left", "right"} {
+		if sides[side] == 0 {
+			t.Errorf("edge placement leaves the %s side without MCs", side)
+		}
+	}
+}
+
+func TestDiamondInterior(t *testing.T) {
+	p := MustNew(config.PlacementDiamond, m8, 8)
+	for _, c := range p.MCs {
+		if c.Row == 0 || c.Row == 7 {
+			t.Errorf("diamond MC %v on top/bottom row; should be interior", c)
+		}
+	}
+}
+
+func TestMCIndexConsistency(t *testing.T) {
+	for _, s := range allSchemes() {
+		p := MustNew(s, m8, 8)
+		for i := range p.MCs {
+			id := p.MCNode(i)
+			if !p.IsMC(id) {
+				t.Errorf("%s: MCNode(%d) not marked as MC", s, i)
+			}
+			if p.MCIndex(id) != i {
+				t.Errorf("%s: MCIndex round trip failed for MC %d", s, i)
+			}
+		}
+		for _, id := range p.Cores() {
+			if p.IsMC(id) || p.MCIndex(id) != -1 {
+				t.Errorf("%s: core %d misclassified", s, id)
+			}
+		}
+	}
+}
+
+func TestHomeMCInterleaving(t *testing.T) {
+	p := MustNew(config.PlacementBottom, m8, 8)
+	counts := make([]int, 8)
+	for line := uint64(0); line < 8000; line++ {
+		mc := p.HomeMC(line*128, 128)
+		if mc < 0 || mc >= 8 {
+			t.Fatalf("HomeMC out of range: %d", mc)
+		}
+		counts[mc]++
+	}
+	for i, n := range counts {
+		if n != 1000 {
+			t.Errorf("MC %d owns %d of 8000 lines; interleaving should be uniform", i, n)
+		}
+	}
+	// Same line must always map to the same MC regardless of offset within it.
+	if p.HomeMC(128, 128) != p.HomeMC(128+64, 128) {
+		t.Error("addresses within one line map to different MCs")
+	}
+}
+
+// TestHopOrderingMatchesPaper verifies Section 3.1.2: sorting placements by
+// decreasing average hops gives bottom, edge, top-bottom, diamond.
+func TestHopOrderingMatchesPaper(t *testing.T) {
+	avg := func(s config.Placement) float64 {
+		a, _, _ := MustNew(s, m8, 8).AverageHops()
+		return a
+	}
+	bottom := avg(config.PlacementBottom)
+	edge := avg(config.PlacementEdge)
+	topBottom := avg(config.PlacementTopBottom)
+	diamond := avg(config.PlacementDiamond)
+	t.Logf("avg hops: bottom=%.3f edge=%.3f top-bottom=%.3f diamond=%.3f",
+		bottom, edge, topBottom, diamond)
+	if !(bottom > edge && edge > topBottom && topBottom > diamond) {
+		t.Errorf("hop ordering violated: bottom=%.3f edge=%.3f top-bottom=%.3f diamond=%.3f",
+			bottom, edge, topBottom, diamond)
+	}
+}
+
+// TestBottomClosedForm checks the exact Table 1 formulas for the bottom
+// placement against enumeration over the N^2-N core tiles (the paper's
+// Eq. 3 denominator is N^2(N-1) = (N^2-N)*N paths, i.e. cores only).
+func TestBottomClosedForm(t *testing.T) {
+	const n = 8
+	var vert, hori int
+	for r := 0; r < n-1; r++ { // bottom row holds MCs, not cores
+		for c := 0; c < n; c++ {
+			for mcCol := 0; mcCol < n; mcCol++ {
+				vert += (n - 1) - r
+				hori += absDiff(c, mcCol)
+			}
+		}
+	}
+	wantVert, wantHori, exact := Table1(config.PlacementBottom, n)
+	if !exact {
+		t.Fatal("bottom closed form should be exact")
+	}
+	if float64(vert) != wantVert {
+		t.Errorf("vertical hops: enumerated %d, closed form %v", vert, wantVert)
+	}
+	if float64(hori) != wantHori {
+		t.Errorf("horizontal hops: enumerated %d, closed form %v", hori, wantHori)
+	}
+}
+
+func absDiff(a, b int) int {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+func TestTopBottomClosedFormVertical(t *testing.T) {
+	const n = 8
+	// Half the MCs on row 0, half on row n-1; sources are the n^2-n core
+	// tiles. Each core at row r is 4r hops from the top MCs and 4(n-1-r)
+	// from the bottom ones, 28 vertical hops total regardless of r, so MC
+	// column positions do not matter for the vertical sum.
+	vert := (n*n - n) * ((n / 2) * (n - 1))
+	wantVert, _, _ := Table1(config.PlacementTopBottom, n)
+	if float64(vert) != wantVert {
+		t.Errorf("top-bottom vertical hops: enumerated %d, closed form %v", vert, wantVert)
+	}
+}
+
+func TestAverageHopsBottomValue(t *testing.T) {
+	// Exact enumeration over core->MC pairs for bottom in 8x8 with 8 MCs.
+	p := MustNew(config.PlacementBottom, m8, 8)
+	avg, vert, hori := p.AverageHops()
+	// 56 cores x 8 MCs = 448 paths. Vertical: each core at row r contributes
+	// 8*(7-r); sum over rows 0..6 of 8 cores: 8*8*sum(7-r) = 64*28 = 1792.
+	if vert != 1792 {
+		t.Errorf("vertical hop total = %d, want 1792", vert)
+	}
+	if want := float64(vert+hori) / 448; math.Abs(avg-want) > 1e-12 {
+		t.Errorf("average = %v, want %v", avg, want)
+	}
+}
+
+func TestDiamondClosedFormIsApproximate(t *testing.T) {
+	// The paper marks the diamond row with ~; our enumeration must not match
+	// it exactly but both must agree diamond has the fewest hops.
+	_, _, exact := Table1(config.PlacementDiamond, 8)
+	if exact {
+		t.Error("diamond closed form should be flagged approximate")
+	}
+}
+
+func TestErrorCases(t *testing.T) {
+	if _, err := New(config.PlacementBottom, m8, 9); err == nil {
+		t.Error("9 MCs cannot fit the bottom row of an 8-wide mesh")
+	}
+	if _, err := New(config.PlacementTopBottom, m8, 7); err == nil {
+		t.Error("top-bottom requires an even MC count")
+	}
+	if _, err := New(config.PlacementEdge, m8, 6); err == nil {
+		t.Error("edge requires a multiple of 4")
+	}
+	if _, err := New("nowhere", m8, 8); err == nil {
+		t.Error("unknown scheme must fail")
+	}
+}
+
+func TestOtherMeshSizes(t *testing.T) {
+	for _, n := range []int{4, 6, 12, 16} {
+		m := mesh.New(n, n)
+		for _, s := range allSchemes() {
+			k := n
+			if s == config.PlacementEdge {
+				k = 4 * (n / 4)
+				if k == 0 {
+					continue
+				}
+			}
+			p, err := New(s, m, k)
+			if err != nil {
+				t.Errorf("%s on %dx%d with %d MCs: %v", s, n, n, k, err)
+				continue
+			}
+			if len(p.MCs) != k {
+				t.Errorf("%s on %dx%d: %d MCs, want %d", s, n, n, len(p.MCs), k)
+			}
+		}
+	}
+}

@@ -1,0 +1,384 @@
+// Package smcore models a streaming multiprocessor (SM): 48 warp contexts
+// scheduled greedy-then-oldest (GTO, Table 2), a 16KB write-back L1 data
+// cache with an MSHR file, a coalescing memory stage, and the NoC interface
+// that turns L1 misses and dirty write-backs into request packets.
+//
+// The pipeline is deliberately lean — one warp-instruction issued per cycle
+// — because the paper's experiments measure how the interconnect throttles
+// memory-bound execution, not intra-SM microarchitecture. What matters and
+// is modelled faithfully: warps block on data they are waiting for, each
+// warp sustains bounded memory-level parallelism, a full MSHR file or write
+// buffer stalls issue, and IPC therefore degrades exactly when the network
+// backs up.
+package smcore
+
+import (
+	"gpgpunoc/internal/cache"
+	"gpgpunoc/internal/config"
+	"gpgpunoc/internal/mesh"
+	"gpgpunoc/internal/noc"
+	"gpgpunoc/internal/packet"
+	"gpgpunoc/internal/placement"
+	"gpgpunoc/internal/stats"
+	"gpgpunoc/internal/workload"
+)
+
+// warp is one warp context.
+type warp struct {
+	readyAt     int64
+	outstanding int  // loads in flight
+	stalled     bool // retrying a structurally-stalled instruction
+	fetchWait   bool // blocked on an instruction-cache fill
+	pending     workload.Instr
+	gen         *workload.Generator
+
+	// Instruction-fetch state. Control flow is modelled as a hot loop
+	// (loopBase..loopBase+loopBytes) executed for a phase, then a move to
+	// the next region of the kernel — kernels are loops, not straight-line
+	// walks, so steady-state I-cache miss rates stay realistically small
+	// while kernels larger than the 2KB L1I still miss at phase changes.
+	loopBase uint64
+	pc       uint64 // offset within the hot loop
+	instrs   uint64 // issued instructions, for phase changes
+}
+
+// loopPhaseInstrs is how many instructions a warp spends in one hot loop
+// region before moving on.
+const loopPhaseInstrs = 4096
+
+// instBase places kernel images in a reserved high address region, disjoint
+// from any data footprint, shared by all SMs (one kernel, many cores — so
+// instruction lines are hot in the L2 slices).
+const instBase = uint64(1) << 40
+
+// instrBytes is the encoded size of one instruction.
+const instrBytes = 8
+
+// SM is one streaming multiprocessor.
+type SM struct {
+	Index int
+	Node  mesh.NodeID
+
+	core  config.Core
+	mem   config.Mem
+	net   noc.Interconnect
+	place *placement.Placement
+	prof  workload.Profile
+
+	l1    *cache.Cache
+	mshr  *cache.MSHR
+	warps []warp
+
+	// Instruction fetch: the 2KB L1I plus outstanding fill tracking.
+	// Disabled (nil icache) when the profile has no kernel image.
+	icache       *cache.Cache
+	pendingFetch map[uint64][]int // inst line -> waiting warps
+
+	outbox    []*packet.Packet
+	outboxCap int
+	greedy    int // GTO: last warp issued from
+
+	gpu    *stats.GPU
+	nextID *uint64 // shared packet id counter
+}
+
+// New builds an SM running prof at the given mesh node.
+func New(idx int, node mesh.NodeID, core config.Core, memCfg config.Mem,
+	prof workload.Profile, seed uint64, net noc.Interconnect,
+	pl *placement.Placement, gpu *stats.GPU, nextID *uint64) *SM {
+
+	sm := &SM{
+		Index:     idx,
+		Node:      node,
+		core:      core,
+		mem:       memCfg,
+		net:       net,
+		place:     pl,
+		prof:      prof,
+		l1:        cache.New(memCfg.L1DataBytes, memCfg.L1Ways, memCfg.LineBytes),
+		mshr:      cache.NewMSHR(memCfg.L1MSHRs),
+		warps:     make([]warp, core.WarpsPerSM),
+		outboxCap: 16,
+		gpu:       gpu,
+		nextID:    nextID,
+	}
+	if prof.KernelBytes > 0 {
+		sm.icache = cache.New(memCfg.L1InstBytes, memCfg.L1InstWays, memCfg.LineBytes)
+		sm.pendingFetch = make(map[uint64][]int)
+	}
+	for w := range sm.warps {
+		sm.warps[w].gen = workload.NewGenerator(prof, seed, idx, w, core.WarpsPerSM)
+		// Stagger loop phases slightly so warps do not fetch in lockstep;
+		// warps of one SM still share the same hot region, as CTAs of one
+		// kernel do.
+		if prof.KernelBytes > 0 {
+			sm.warps[w].instrs = uint64(w) * 7
+		}
+	}
+	return sm
+}
+
+// loopBytes returns the hot-loop size: kernels smaller than half the L1I
+// are one loop; larger kernels loop over L1I-half-sized regions and pay
+// cold misses at each phase change.
+func (s *SM) loopBytes() uint64 {
+	half := uint64(s.mem.L1InstBytes / 2)
+	if s.prof.KernelBytes < half {
+		return s.prof.KernelBytes
+	}
+	return half
+}
+
+// L1 exposes the data cache for tests and reports.
+func (s *SM) L1() *cache.Cache { return s.l1 }
+
+// MSHR exposes the miss file for tests.
+func (s *SM) MSHR() *cache.MSHR { return s.mshr }
+
+func (s *SM) lineAddr(addr uint64) uint64 {
+	return addr &^ (uint64(s.mem.LineBytes) - 1)
+}
+
+func (s *SM) newPacket(t packet.Type, addr uint64, warpID int, now int64) *packet.Packet {
+	*s.nextID++
+	home := s.place.HomeMC(addr, s.mem.LineBytes)
+	return &packet.Packet{
+		ID:    *s.nextID,
+		Type:  t,
+		Src:   int(s.Node),
+		Dst:   int(s.place.MCNode(home)),
+		Flits: packet.Length(t),
+		Access: packet.MemAccess{
+			Addr: s.lineAddr(addr),
+			SM:   s.Index,
+			Warp: warpID,
+		},
+		CreatedAt: now,
+	}
+}
+
+// Sink returns the NoC ejection callback: data read replies fill the MSHR
+// and wake waiting warps, instruction replies fill the L1I and release
+// fetch-blocked warps, write replies are acknowledgements.
+func (s *SM) Sink() noc.Sink {
+	return func(f packet.Flit) bool {
+		if !f.Tail || f.Pkt.Type != packet.ReadReply {
+			return true
+		}
+		line := s.lineAddr(f.Pkt.Access.Addr)
+		if f.Pkt.Access.IsInst {
+			s.icache.Access(line, false) // install; clean, never written back
+			for _, w := range s.pendingFetch[line] {
+				s.warps[w].fetchWait = false
+			}
+			delete(s.pendingFetch, line)
+			return true
+		}
+		for _, w := range s.mshr.Fill(line) {
+			s.warps[w].outstanding--
+		}
+		return true
+	}
+}
+
+// fetch models the instruction-fetch stage for warp wi: true means the
+// instruction is available this cycle. A miss sends a fetch to the line's
+// home MC (instruction lines live in a reserved region shared by all SMs)
+// and blocks the warp until the fill returns.
+func (s *SM) fetch(w *warp, wi int, now int64) bool {
+	if s.icache == nil {
+		return true
+	}
+	line := s.lineAddr(instBase + w.loopBase + w.pc)
+	if s.icache.Probe(line) {
+		s.icache.Access(line, false) // refresh LRU
+		return true
+	}
+	if _, outstanding := s.pendingFetch[line]; outstanding {
+		s.pendingFetch[line] = append(s.pendingFetch[line], wi)
+		w.fetchWait = true
+		return false
+	}
+	if len(s.outbox) >= s.outboxCap {
+		return false // fetch retries next cycle; warp stays eligible
+	}
+	if s.gpu != nil {
+		s.gpu.InstFetchMisses++
+	}
+	p := s.newPacket(packet.ReadRequest, line, wi, now)
+	p.Access.IsInst = true
+	s.outbox = append(s.outbox, p)
+	s.pendingFetch[line] = []int{wi}
+	w.fetchWait = true
+	return false
+}
+
+// eligible reports whether warp w can issue at cycle now.
+func (s *SM) eligible(w *warp, now int64) bool {
+	if w.readyAt > now || w.fetchWait {
+		return false
+	}
+	if w.outstanding >= s.prof.RunAhead {
+		return false // waiting on loads
+	}
+	return true
+}
+
+// Tick advances the SM one cycle, issuing at most one warp-instruction.
+func (s *SM) Tick(now int64) {
+	// Drain the write/request outbox into the network first; a full outbox
+	// stalls the memory stage below.
+	for len(s.outbox) > 0 && s.net.Inject(s.outbox[0]) {
+		s.outbox = s.outbox[1:]
+	}
+
+	// GTO scheduling: keep issuing from the greedy warp; on stall, switch
+	// to the oldest (lowest-index) eligible warp.
+	wi := -1
+	if s.eligible(&s.warps[s.greedy], now) {
+		wi = s.greedy
+	} else {
+		for i := range s.warps {
+			if s.eligible(&s.warps[i], now) {
+				wi = i
+				break
+			}
+		}
+	}
+	if wi < 0 {
+		if s.gpu != nil {
+			s.gpu.StallCycles++
+		}
+		return
+	}
+	w := &s.warps[wi]
+
+	// Fetch stage: the instruction must be in the L1I before issue. A
+	// replayed (stalled) instruction was already fetched.
+	if !w.stalled && !s.fetch(w, wi, now) {
+		if s.gpu != nil {
+			s.gpu.StallCycles++
+		}
+		return
+	}
+
+	instr := w.pending
+	if !w.stalled {
+		instr = w.gen.Next()
+	}
+	if !s.execute(w, wi, instr, now) {
+		// Structural stall: remember the instruction and retry. The warp
+		// stays eligible so GTO keeps it greedy, matching how a scoreboard
+		// replays a stalled memory op.
+		w.pending = instr
+		w.stalled = true
+		if s.gpu != nil {
+			s.gpu.StallCycles++
+		}
+		return
+	}
+	w.stalled = false
+	s.greedy = wi
+	if s.prof.KernelBytes > 0 {
+		w.instrs++
+		w.pc = (w.pc + instrBytes) % s.loopBytes()
+		if w.instrs%loopPhaseInstrs == 0 {
+			w.loopBase = (w.loopBase + s.loopBytes()) % s.prof.KernelBytes
+			w.pc = 0
+		}
+	}
+	if s.gpu != nil {
+		s.gpu.Instructions++
+	}
+}
+
+// execute attempts one instruction; false means a structural stall (MSHR or
+// write buffer full) and the instruction must be retried.
+func (s *SM) execute(w *warp, wi int, in workload.Instr, now int64) bool {
+	switch in.Kind {
+	case workload.Compute, workload.Shared:
+		// Shared-memory ops complete inside the SM; bank conflicts are
+		// already folded into the generated latency.
+		lat := int64(in.Latency)
+		if lat < 1 {
+			lat = 1
+		}
+		w.readyAt = now + lat
+		return true
+
+	case workload.Load:
+		if s.l1.Probe(in.Addr) {
+			s.l1.Access(in.Addr, false)
+			if s.gpu != nil {
+				s.gpu.L1Hits++
+			}
+			w.readyAt = now + 1
+			return true
+		}
+		line := s.lineAddr(in.Addr)
+		// Allocate the MSHR before touching the cache so a stall has no
+		// side effects.
+		switch s.mshr.Allocate(line, wi) {
+		case cache.Stall:
+			return false
+		case cache.Merged:
+			if s.gpu != nil {
+				s.gpu.L1Misses++
+				s.gpu.MemRequests++ // merged at L1; no extra NoC traffic
+			}
+			w.outstanding++
+			w.readyAt = now + 1
+			return true
+		case cache.Primary:
+			if len(s.outbox) >= s.outboxCap {
+				// Undo the allocation: the request cannot be sent.
+				s.mshr.Fill(line)
+				return false
+			}
+			if s.gpu != nil {
+				s.gpu.L1Misses++
+				s.gpu.MemRequests++
+			}
+			res := s.l1.Access(in.Addr, false) // install line (fill in flight)
+			if res.Eviction {
+				s.outbox = append(s.outbox, s.newPacket(packet.WriteRequest, res.VictimAddr, wi, now))
+			}
+			s.outbox = append(s.outbox, s.newPacket(packet.ReadRequest, in.Addr, wi, now))
+			w.outstanding++
+			w.readyAt = now + 1
+			return true
+		}
+		return false
+
+	case workload.Store:
+		if len(s.outbox) >= s.outboxCap {
+			return false // write buffer full
+		}
+		res := s.l1.Access(in.Addr, true) // write-allocate, no fetch
+		if s.gpu != nil {
+			if res.Hit {
+				s.gpu.L1Hits++
+			} else {
+				s.gpu.L1Misses++
+			}
+		}
+		if res.Eviction {
+			if s.gpu != nil {
+				s.gpu.MemRequests++
+			}
+			s.outbox = append(s.outbox, s.newPacket(packet.WriteRequest, res.VictimAddr, wi, now))
+		}
+		w.readyAt = now + 1
+		return true
+	}
+	panic("smcore: unknown instruction kind")
+}
+
+// Outstanding returns total in-flight loads across warps (test hook).
+func (s *SM) Outstanding() int {
+	total := 0
+	for i := range s.warps {
+		total += s.warps[i].outstanding
+	}
+	return total
+}

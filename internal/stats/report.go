@@ -1,0 +1,119 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"gpgpunoc/internal/mesh"
+	"gpgpunoc/internal/packet"
+)
+
+// Link-level reporting: CSV export for offline analysis and ASCII heatmaps
+// for at-a-glance inspection of where a scheme concentrates traffic (the
+// Figure 4/6 pictures, measured instead of derived).
+
+// WriteLinkCSV writes one row per directed link and class:
+// from_row,from_col,dir,class,flits,utilization.
+func (n *Net) WriteLinkCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "from_row,from_col,dir,class,flits,utilization"); err != nil {
+		return err
+	}
+	for _, l := range n.Mesh.Links() {
+		c := n.Mesh.Coord(l.From)
+		for cls := packet.Class(0); cls < packet.NumClasses; cls++ {
+			flits := n.LinkFlits[cls][n.Mesh.LinkIndex(l)]
+			util := 0.0
+			if n.Cycles > 0 {
+				util = float64(flits) / float64(n.Cycles)
+			}
+			if _, err := fmt.Fprintf(w, "%d,%d,%s,%s,%d,%.4f\n",
+				c.Row, c.Col, l.Dir, cls, flits, util); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// UtilizationGrid returns per-tile utilization of the outgoing link in
+// direction d (both classes summed), indexed [row][col]. Tiles whose link
+// does not exist hold -1.
+func (n *Net) UtilizationGrid(d mesh.Direction) [][]float64 {
+	g := make([][]float64, n.Mesh.Height)
+	for r := range g {
+		g[r] = make([]float64, n.Mesh.Width)
+		for c := range g[r] {
+			coord := mesh.Coord{Row: r, Col: c}
+			if _, ok := n.Mesh.Neighbor(coord, d); !ok || d == mesh.Local {
+				g[r][c] = -1
+				continue
+			}
+			g[r][c] = n.LinkUtilization(mesh.Link{From: n.Mesh.ID(coord), Dir: d})
+		}
+	}
+	return g
+}
+
+// heatRunes maps utilization to a glyph ramp.
+var heatRunes = []rune(" .:-=+*#%@")
+
+func heatRune(u float64) rune {
+	if u < 0 {
+		return 'x'
+	}
+	i := int(u * float64(len(heatRunes)))
+	if i >= len(heatRunes) {
+		i = len(heatRunes) - 1
+	}
+	return heatRunes[i]
+}
+
+// Heatmap renders ASCII utilization maps for the four link directions.
+// Each cell shows the utilization of the tile's outgoing link in that
+// direction ('x' where no link exists; ' '..'@' spans 0..100%).
+func (n *Net) Heatmap(w io.Writer) {
+	for _, d := range []mesh.Direction{mesh.North, mesh.East, mesh.South, mesh.West} {
+		fmt.Fprintf(w, "outgoing %s links (flits/cycle, ' '=idle '@'=saturated):\n", d)
+		for _, row := range n.UtilizationGrid(d) {
+			var b strings.Builder
+			b.WriteString("  ")
+			for _, u := range row {
+				b.WriteRune(heatRune(u))
+			}
+			fmt.Fprintln(w, b.String())
+		}
+	}
+}
+
+// HottestLinks returns the k busiest directed links with their utilization,
+// busiest first.
+func (n *Net) HottestLinks(k int) []struct {
+	Link mesh.Link
+	Util float64
+} {
+	type lu struct {
+		l mesh.Link
+		u float64
+	}
+	var all []lu
+	for _, l := range n.Mesh.Links() {
+		all = append(all, lu{l, n.LinkUtilization(l)})
+	}
+	for i := 1; i < len(all); i++ { // insertion sort: n is small and fixed
+		for j := i; j > 0 && all[j].u > all[j-1].u; j-- {
+			all[j], all[j-1] = all[j-1], all[j]
+		}
+	}
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]struct {
+		Link mesh.Link
+		Util float64
+	}, k)
+	for i := 0; i < k; i++ {
+		out[i].Link, out[i].Util = all[i].l, all[i].u
+	}
+	return out
+}

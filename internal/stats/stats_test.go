@@ -1,0 +1,285 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"gpgpunoc/internal/mesh"
+	"gpgpunoc/internal/packet"
+)
+
+func TestSamplerBasics(t *testing.T) {
+	var s Sampler
+	for _, v := range []int64{5, 1, 9, 3} {
+		s.Add(v)
+	}
+	if s.Count != 4 || s.Min != 1 || s.Max != 9 || s.Sum != 18 {
+		t.Errorf("sampler state: %+v", s)
+	}
+	if got := s.Mean(); math.Abs(got-4.5) > 1e-12 {
+		t.Errorf("mean = %v, want 4.5", got)
+	}
+}
+
+func TestSamplerEmpty(t *testing.T) {
+	var s Sampler
+	if s.Mean() != 0 || s.Percentile(0.99) != 0 {
+		t.Error("empty sampler must report zeros")
+	}
+}
+
+func TestSamplerPercentileBounds(t *testing.T) {
+	var s Sampler
+	for i := int64(1); i <= 1000; i++ {
+		s.Add(i)
+	}
+	p50 := s.Percentile(0.5)
+	p99 := s.Percentile(0.99)
+	if p50 < 256 || p50 > 1024 {
+		t.Errorf("p50 bucket bound = %d, want around 512", p50)
+	}
+	if p99 < p50 {
+		t.Errorf("p99 (%d) below p50 (%d)", p99, p50)
+	}
+}
+
+func TestSamplerMerge(t *testing.T) {
+	var a, b, all Sampler
+	for i := int64(0); i < 100; i++ {
+		v := i*i%97 + 1
+		if i%2 == 0 {
+			a.Add(v)
+		} else {
+			b.Add(v)
+		}
+		all.Add(v)
+	}
+	a.Merge(&b)
+	if a.Count != all.Count || a.Sum != all.Sum || a.Min != all.Min || a.Max != all.Max {
+		t.Errorf("merge mismatch: %+v vs %+v", a, all)
+	}
+}
+
+func TestSamplerMergeProperty(t *testing.T) {
+	f := func(xs []int16, ys []int16) bool {
+		var a, b, all Sampler
+		for _, x := range xs {
+			v := int64(x)
+			a.Add(v)
+			all.Add(v)
+		}
+		for _, y := range ys {
+			v := int64(y)
+			b.Add(v)
+			all.Add(v)
+		}
+		a.Merge(&b)
+		return a.Count == all.Count && a.Sum == all.Sum &&
+			(all.Count == 0 || (a.Min == all.Min && a.Max == all.Max))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func mkNet() *Net {
+	n := NewNet(mesh.New(4, 4))
+	n.Enabled = true
+	return n
+}
+
+func TestNetCounting(t *testing.T) {
+	n := mkNet()
+	p := &packet.Packet{Type: packet.ReadReply, Flits: 5, CreatedAt: 0, InjectedAt: 10, EjectedAt: 50}
+	n.CountInjection(p)
+	n.CountEjection(p)
+	if n.InjectedPackets[packet.ReadReply] != 1 || n.EjectedFlits[packet.ReadReply] != 5 {
+		t.Error("injection/ejection counts wrong")
+	}
+	if n.NetLatency[packet.Reply].Count != 1 || n.NetLatency[packet.Reply].Sum != 40 {
+		t.Errorf("net latency sampler: %+v", n.NetLatency[packet.Reply])
+	}
+	if n.TotalLatency[packet.Reply].Sum != 50 {
+		t.Errorf("total latency sum = %d", n.TotalLatency[packet.Reply].Sum)
+	}
+}
+
+func TestNetDisabledCollectsNothing(t *testing.T) {
+	n := mkNet()
+	n.Enabled = false
+	p := &packet.Packet{Type: packet.ReadRequest, Flits: 1}
+	n.CountInjection(p)
+	n.CountEjection(p)
+	n.CountLink(mesh.Link{From: 0, Dir: mesh.East}, packet.Request)
+	if n.InjectedPackets[packet.ReadRequest] != 0 || n.EjectedPackets[packet.ReadRequest] != 0 {
+		t.Error("disabled collector recorded packets")
+	}
+	if _, c := n.HottestLink(); c != 0 {
+		t.Error("disabled collector recorded link flits")
+	}
+}
+
+func TestClassFlits(t *testing.T) {
+	n := mkNet()
+	for _, p := range []*packet.Packet{
+		{Type: packet.ReadRequest, Flits: 1},
+		{Type: packet.WriteRequest, Flits: 5},
+		{Type: packet.ReadReply, Flits: 5},
+		{Type: packet.WriteReply, Flits: 1},
+	} {
+		n.CountEjection(p)
+	}
+	if got := n.ClassFlits(packet.Request); got != 6 {
+		t.Errorf("request flits = %d, want 6", got)
+	}
+	if got := n.ClassFlits(packet.Reply); got != 6 {
+		t.Errorf("reply flits = %d, want 6", got)
+	}
+}
+
+func TestFlitShareSumsToOne(t *testing.T) {
+	n := mkNet()
+	n.CountEjection(&packet.Packet{Type: packet.ReadRequest, Flits: 3})
+	n.CountEjection(&packet.Packet{Type: packet.ReadReply, Flits: 5})
+	sum := 0.0
+	for _, v := range n.FlitShare() {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("shares sum to %v", sum)
+	}
+}
+
+func TestHottestLinkAndUtilization(t *testing.T) {
+	n := mkNet()
+	n.Cycles = 10
+	hot := mesh.Link{From: 5, Dir: mesh.East}
+	for i := 0; i < 7; i++ {
+		n.CountLink(hot, packet.Reply)
+	}
+	n.CountLink(mesh.Link{From: 1, Dir: mesh.South}, packet.Request)
+	l, c := n.HottestLink()
+	if l != hot || c != 7 {
+		t.Errorf("hottest = %v (%d), want %v (7)", l, c, hot)
+	}
+	if u := n.LinkUtilization(hot); math.Abs(u-0.7) > 1e-12 {
+		t.Errorf("utilization = %v, want 0.7", u)
+	}
+}
+
+func TestNetReset(t *testing.T) {
+	n := mkNet()
+	n.CountEjection(&packet.Packet{Type: packet.ReadReply, Flits: 5})
+	n.CountLink(mesh.Link{From: 0, Dir: mesh.East}, packet.Reply)
+	n.Reset()
+	if !n.Enabled {
+		t.Error("Reset must preserve Enabled")
+	}
+	if n.EjectedPackets[packet.ReadReply] != 0 {
+		t.Error("Reset left packet counts")
+	}
+	if _, c := n.HottestLink(); c != 0 {
+		t.Error("Reset left link counts")
+	}
+}
+
+func TestGPUMetrics(t *testing.T) {
+	g := GPU{Cycles: 100, Instructions: 250, L1Hits: 60, L1Misses: 40, L2Hits: 30, L2Misses: 10}
+	if ipc := g.IPC(); math.Abs(ipc-2.5) > 1e-12 {
+		t.Errorf("IPC = %v", ipc)
+	}
+	if mr := g.L1MissRate(); math.Abs(mr-0.4) > 1e-12 {
+		t.Errorf("L1 miss rate = %v", mr)
+	}
+	if mr := g.L2MissRate(); math.Abs(mr-0.25) > 1e-12 {
+		t.Errorf("L2 miss rate = %v", mr)
+	}
+	var zero GPU
+	if zero.IPC() != 0 || zero.L1MissRate() != 0 || zero.L2MissRate() != 0 {
+		t.Error("zero GPU stats must report zeros, not NaN")
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	n := mkNet()
+	n.Cycles = 4
+	n.CountEjection(&packet.Packet{Type: packet.ReadReply, Flits: 5})
+	n.CountEjection(&packet.Packet{Type: packet.ReadRequest, Flits: 1})
+	if th := n.Throughput(); math.Abs(th-1.5) > 1e-12 {
+		t.Errorf("throughput = %v, want 1.5", th)
+	}
+}
+
+func TestWriteLinkCSV(t *testing.T) {
+	n := mkNet()
+	n.Cycles = 10
+	n.CountLink(mesh.Link{From: 0, Dir: mesh.East}, packet.Request)
+	var b strings.Builder
+	if err := n.WriteLinkCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "from_row,from_col,dir,class,flits,utilization\n") {
+		t.Error("missing CSV header")
+	}
+	if !strings.Contains(out, "0,0,E,request,1,0.1000") {
+		t.Errorf("missing counted link row in:\n%s", out)
+	}
+	// 4x4 mesh: 48 directed links x 2 classes + header.
+	if lines := strings.Count(out, "\n"); lines != 48*2+1 {
+		t.Errorf("CSV line count = %d", lines)
+	}
+}
+
+func TestUtilizationGrid(t *testing.T) {
+	n := mkNet()
+	n.Cycles = 4
+	n.CountLink(mesh.Link{From: 0, Dir: mesh.East}, packet.Reply)
+	n.CountLink(mesh.Link{From: 0, Dir: mesh.East}, packet.Reply)
+	g := n.UtilizationGrid(mesh.East)
+	if g[0][0] != 0.5 {
+		t.Errorf("grid[0][0] = %v, want 0.5", g[0][0])
+	}
+	if g[0][3] != -1 {
+		t.Errorf("right-edge east link should be -1, got %v", g[0][3])
+	}
+}
+
+func TestHeatmapRenders(t *testing.T) {
+	n := mkNet()
+	n.Cycles = 1
+	n.CountLink(mesh.Link{From: 5, Dir: mesh.South}, packet.Request)
+	var b strings.Builder
+	n.Heatmap(&b)
+	out := b.String()
+	for _, d := range []string{"outgoing N", "outgoing E", "outgoing S", "outgoing W"} {
+		if !strings.Contains(out, d) {
+			t.Errorf("heatmap missing %q section", d)
+		}
+	}
+	if !strings.Contains(out, "@") {
+		t.Error("saturated link not rendered as '@'")
+	}
+}
+
+func TestHottestLinks(t *testing.T) {
+	n := mkNet()
+	n.Cycles = 10
+	a := mesh.Link{From: 0, Dir: mesh.East}
+	c := mesh.Link{From: 5, Dir: mesh.South}
+	for i := 0; i < 8; i++ {
+		n.CountLink(a, packet.Reply)
+	}
+	for i := 0; i < 3; i++ {
+		n.CountLink(c, packet.Request)
+	}
+	top := n.HottestLinks(2)
+	if len(top) != 2 || top[0].Link != a || top[1].Link != c {
+		t.Errorf("hottest = %+v", top)
+	}
+	if top[0].Util != 0.8 {
+		t.Errorf("top utilization = %v", top[0].Util)
+	}
+}

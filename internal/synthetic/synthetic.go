@@ -1,0 +1,290 @@
+// Package synthetic drives the NoC with open-loop synthetic traffic:
+// cores inject read/write requests at a configured rate toward
+// uniformly-selected memory controllers, and MC endpoints echo each request
+// back as the matching reply after a fixed service latency.
+//
+// This pure-network harness serves three purposes:
+//   - validating the simulator against the analytic link-load model
+//     (Equation 2 / Figure 4);
+//   - producing classic latency-throughput curves per routing algorithm and
+//     VC policy;
+//   - demonstrating real protocol deadlock: with the unsafe shared-VC
+//     policy on a class-mixing configuration, the harness wedges, and the
+//     watchdog reports it.
+package synthetic
+
+import (
+	"fmt"
+
+	"gpgpunoc/internal/config"
+	"gpgpunoc/internal/core"
+	"gpgpunoc/internal/mesh"
+	"gpgpunoc/internal/noc"
+	"gpgpunoc/internal/packet"
+	"gpgpunoc/internal/placement"
+	"gpgpunoc/internal/rng"
+	"gpgpunoc/internal/routing"
+	"gpgpunoc/internal/stats"
+)
+
+// Params configures a synthetic run.
+type Params struct {
+	NoC       config.NoC
+	Placement config.Placement
+	NumMCs    int
+
+	// InjectionRate is the probability a core generates a request each
+	// cycle (open loop).
+	InjectionRate float64
+	// ReadFrac is the fraction of requests that are reads (default mix
+	// 0.75 reproduces the paper's reply:request flit ratio of 2).
+	ReadFrac float64
+	// MCLatency is the echo service latency in cycles.
+	MCLatency int
+	// MCQueue bounds both the pending-request and outgoing-reply queues at
+	// each MC; finite queues are what make protocol deadlock expressible.
+	MCQueue int
+	// CoreBacklog bounds each core's not-yet-injected request backlog;
+	// requests beyond it are dropped (open-loop sources do not stall).
+	CoreBacklog int
+	// PipelineDelay overrides the router's stage-one residency when > 0
+	// (default 2, the two-stage router; 1 models a single-cycle router).
+	PipelineDelay int
+	Seed          uint64
+
+	// Validate rejects protocol-deadlock-unsafe configurations. Leave
+	// false to experiment with unsafe ones (they wedge; the watchdog
+	// fires).
+	Validate bool
+}
+
+// DefaultParams returns a moderate-load configuration on the Table 2 system.
+func DefaultParams() Params {
+	return Params{
+		NoC:           config.Default().NoC,
+		Placement:     config.PlacementBottom,
+		NumMCs:        8,
+		InjectionRate: 0.05,
+		ReadFrac:      0.75,
+		MCLatency:     20,
+		MCQueue:       16,
+		CoreBacklog:   8,
+		Seed:          1,
+	}
+}
+
+// mcState is one memory controller endpoint.
+type mcState struct {
+	node    mesh.NodeID
+	pending []pendingReply // requests in service
+	outbox  []*packet.Packet
+	queue   int // packets currently accepted but not fully ejected
+}
+
+type pendingReply struct {
+	readyAt int64
+	reply   *packet.Packet
+}
+
+// coreState is one open-loop injector.
+type coreState struct {
+	node    mesh.NodeID
+	backlog []*packet.Packet
+	dropped int64
+}
+
+// Harness wires injectors and echo MCs to a network.
+type Harness struct {
+	Params Params
+	Net    noc.Interconnect
+	Place  *placement.Placement
+
+	cores []coreState
+	mcs   []mcState
+	rng   *rng.Stream
+	next  uint64
+
+	RepliesDelivered int64
+	RequestsDropped  int64
+}
+
+// New builds the harness. With p.Validate set, configurations whose VC
+// policy is protocol-deadlock unsafe for the placement and routing are
+// rejected.
+func New(p Params) (*Harness, error) {
+	m := mesh.New(p.NoC.Width, p.NoC.Height)
+	pl, err := placement.New(p.Placement, m, p.NumMCs)
+	if err != nil {
+		return nil, err
+	}
+	alg, err := routing.New(p.NoC.Routing)
+	if err != nil {
+		return nil, err
+	}
+	usage := core.Analyze(m, pl, alg)
+	asg, err := core.BuildAssigner(usage, p.NoC)
+	if err != nil {
+		return nil, err
+	}
+	if p.Validate {
+		if err := usage.CheckPolicy(asg); err != nil {
+			return nil, fmt.Errorf("synthetic: %w", err)
+		}
+	}
+	var opts []noc.Option
+	if p.PipelineDelay > 0 {
+		opts = append(opts, noc.WithPipelineDelay(p.PipelineDelay))
+	}
+	var net noc.Interconnect
+	if p.NoC.PhysicalSubnets {
+		if p.NoC.SubnetHalfWidth {
+			opts = append(opts, noc.WithLinkPeriod(2))
+		}
+		net = noc.NewDual(p.NoC, alg, opts...)
+	} else {
+		net = noc.New(p.NoC, alg, asg, opts...)
+	}
+	h := &Harness{Params: p, Net: net, Place: pl, rng: rng.New(p.Seed)}
+
+	for _, id := range pl.Cores() {
+		h.cores = append(h.cores, coreState{node: id})
+	}
+	for i := range pl.MCs {
+		h.mcs = append(h.mcs, mcState{node: pl.MCNode(i)})
+	}
+	for ci := range h.cores {
+		node := h.cores[ci].node
+		net.SetSink(node, func(f packet.Flit) bool {
+			if f.Tail {
+				h.RepliesDelivered++
+			}
+			return true // cores always drain replies
+		})
+	}
+	for mi := range h.mcs {
+		mc := &h.mcs[mi]
+		net.SetSink(mc.node, h.mcSink(mc))
+	}
+	return h, nil
+}
+
+// MustNew is New panicking on error.
+func MustNew(p Params) *Harness {
+	h, err := New(p)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// mcSink returns the ejection callback for one MC: accept a request packet
+// only when both the service queue and the reply path have room.
+func (h *Harness) mcSink(mc *mcState) noc.Sink {
+	return func(f packet.Flit) bool {
+		if f.Head {
+			if mc.queue >= h.Params.MCQueue {
+				return false // backpressure into the network
+			}
+			mc.queue++
+		}
+		if f.Tail {
+			req := f.Pkt
+			rt := req.Type.Reply()
+			rep := &packet.Packet{
+				ID: h.nextID(), Type: rt,
+				Src: req.Dst, Dst: req.Src,
+				Flits:     packet.Length(rt),
+				Access:    req.Access,
+				CreatedAt: h.Net.Cycle(),
+			}
+			mc.pending = append(mc.pending, pendingReply{
+				readyAt: h.Net.Cycle() + int64(h.Params.MCLatency),
+				reply:   rep,
+			})
+		}
+		return true
+	}
+}
+
+func (h *Harness) nextID() uint64 {
+	h.next++
+	return h.next
+}
+
+// Step advances endpoints and the network one cycle.
+func (h *Harness) Step() {
+	now := h.Net.Cycle()
+
+	// Cores: generate and inject requests.
+	for ci := range h.cores {
+		c := &h.cores[ci]
+		if h.rng.Bool(h.Params.InjectionRate) {
+			typ := packet.WriteRequest
+			if h.rng.Bool(h.Params.ReadFrac) {
+				typ = packet.ReadRequest
+			}
+			mc := h.rng.Intn(len(h.mcs))
+			p := &packet.Packet{
+				ID: h.nextID(), Type: typ,
+				Src: int(c.node), Dst: int(h.mcs[mc].node),
+				Flits: packet.Length(typ), CreatedAt: now,
+			}
+			if len(c.backlog) < h.Params.CoreBacklog {
+				c.backlog = append(c.backlog, p)
+			} else {
+				c.dropped++
+				h.RequestsDropped++
+			}
+		}
+		for len(c.backlog) > 0 && h.Net.Inject(c.backlog[0]) {
+			c.backlog = c.backlog[1:]
+		}
+	}
+
+	// MCs: move completed replies to the outbox, then inject.
+	for mi := range h.mcs {
+		mc := &h.mcs[mi]
+		keep := mc.pending[:0]
+		for _, pr := range mc.pending {
+			if pr.readyAt <= now {
+				mc.outbox = append(mc.outbox, pr.reply)
+			} else {
+				keep = append(keep, pr)
+			}
+		}
+		mc.pending = keep
+		// A request's MC-queue slot is held until its reply is injected, so
+		// mc.queue jointly bounds in-service requests and waiting replies.
+		for len(mc.outbox) > 0 && h.Net.Inject(mc.outbox[0]) {
+			mc.outbox = mc.outbox[1:]
+			mc.queue--
+		}
+	}
+
+	h.Net.Step()
+}
+
+// Run simulates warmup cycles without statistics and then measure cycles
+// with statistics, returning the network stats. It stops early and returns
+// deadlocked=true if the watchdog fires.
+func (h *Harness) Run(warmup, measure int) (st *stats.Net, deadlocked bool) {
+	h.Net.EnableStats(false)
+	for i := 0; i < warmup; i++ {
+		h.Step()
+		if i%512 == 511 && h.Net.Quiescent(256) {
+			return h.Net.Stats(), true
+		}
+	}
+	// Collection is gated on Enabled, so nothing accumulated during warmup;
+	// enabling here starts measurement cleanly.
+	h.Net.EnableStats(true)
+	for i := 0; i < measure; i++ {
+		h.Step()
+		if i%512 == 511 && h.Net.Quiescent(256) {
+			return h.Net.Stats(), true
+		}
+	}
+	st = h.Net.Stats()
+	st.Cycles = int64(measure)
+	return st, false
+}

@@ -1,0 +1,260 @@
+package synthetic
+
+import (
+	"math"
+	"testing"
+
+	"gpgpunoc/internal/analytic"
+	"gpgpunoc/internal/config"
+	"gpgpunoc/internal/mesh"
+	"gpgpunoc/internal/packet"
+	"gpgpunoc/internal/routing"
+)
+
+func TestBasicEchoFlow(t *testing.T) {
+	p := DefaultParams()
+	h := MustNew(p)
+	st, dead := h.Run(1000, 4000)
+	if dead {
+		t.Fatal("safe configuration reported deadlock")
+	}
+	if h.RepliesDelivered == 0 {
+		t.Fatal("no replies delivered")
+	}
+	// Every ejected request eventually yields one reply; over a long run
+	// the reply/request packet counts should be close.
+	reqs := st.EjectedPackets[packet.ReadRequest] + st.EjectedPackets[packet.WriteRequest]
+	reps := st.EjectedPackets[packet.ReadReply] + st.EjectedPackets[packet.WriteReply]
+	if reqs == 0 || reps == 0 {
+		t.Fatalf("requests=%d replies=%d", reqs, reps)
+	}
+	if ratio := float64(reps) / float64(reqs); ratio < 0.8 || ratio > 1.2 {
+		t.Errorf("reply/request packet ratio = %.2f, want ~1", ratio)
+	}
+}
+
+// TestReplyRequestFlitRatio reproduces the Figure 2 geomean: with the 75%
+// read mix, reply flit volume is about twice the request volume.
+func TestReplyRequestFlitRatio(t *testing.T) {
+	p := DefaultParams()
+	h := MustNew(p)
+	st, dead := h.Run(1000, 6000)
+	if dead {
+		t.Fatal("unexpected deadlock")
+	}
+	req := float64(st.ClassFlits(packet.Request))
+	rep := float64(st.ClassFlits(packet.Reply))
+	if math.Abs(rep/req-2.0) > 0.25 {
+		t.Errorf("reply:request flit ratio = %.2f, want ~2.0", rep/req)
+	}
+}
+
+// TestLinkCoefficientsMatchSimulation closes the loop between Equation 2 /
+// Figure 4 and the cycle-level simulator: measured per-link request flit
+// counts under bottom+XY must be proportional to the analytic route counts.
+func TestLinkCoefficientsMatchSimulation(t *testing.T) {
+	p := DefaultParams()
+	p.InjectionRate = 0.02 // light load: routes, not contention, set the shape
+	h := MustNew(p)
+	st, dead := h.Run(2000, 30000)
+	if dead {
+		t.Fatal("unexpected deadlock")
+	}
+	m := mesh.New(p.NoC.Width, p.NoC.Height)
+	ll := analytic.ComputeLinkLoad(m, h.Place, routing.MustNew(p.NoC.Routing))
+
+	// Compare measured vs analytic as normalized distributions over links.
+	var measuredTotal, analyticTotal float64
+	for _, l := range m.Links() {
+		measuredTotal += float64(st.LinkFlits[packet.Request][m.LinkIndex(l)])
+		analyticTotal += float64(ll.RouteCount(l, packet.Request))
+	}
+	if measuredTotal == 0 {
+		t.Fatal("no request traffic measured")
+	}
+	var worst float64
+	for _, l := range m.Links() {
+		meas := float64(st.LinkFlits[packet.Request][m.LinkIndex(l)]) / measuredTotal
+		ana := float64(ll.RouteCount(l, packet.Request)) / analyticTotal
+		if ana == 0 {
+			if meas > 0 {
+				t.Errorf("link %v carries traffic but analytic says zero", l)
+			}
+			continue
+		}
+		if diff := math.Abs(meas - ana); diff > worst {
+			worst = diff
+		}
+	}
+	if worst > 0.01 {
+		t.Errorf("worst per-link share deviation = %.4f, want < 0.01", worst)
+	}
+}
+
+// TestProtocolDeadlockDemonstration is the paper's safety argument run in
+// anger. The shared (non-partitioned) VC policy on a configuration that
+// mixes request and reply traffic on the same links wedges under load —
+// genuine protocol deadlock — while the identical load with the split
+// policy, and the identical shared policy on the non-mixing bottom+XY
+// configuration (i.e. VC monopolizing), both complete.
+func TestProtocolDeadlockDemonstration(t *testing.T) {
+	base := DefaultParams()
+	base.InjectionRate = 0.40 // saturating load
+	base.MCQueue = 4
+	base.MCLatency = 60
+
+	// Unsafe: diamond placement mixes classes everywhere; shared VCs.
+	unsafe := base
+	unsafe.Placement = config.PlacementDiamond
+	unsafe.NoC.VCPolicy = config.VCShared
+	_, dead := MustNew(unsafe).Run(40000, 1)
+	if !dead {
+		t.Error("shared VCs on a mixing configuration should protocol-deadlock under saturation")
+	}
+
+	// Safe control 1: same placement and load, split VCs.
+	safe := base
+	safe.Placement = config.PlacementDiamond
+	safe.NoC.VCPolicy = config.VCSplit
+	_, dead = MustNew(safe).Run(40000, 1)
+	if dead {
+		t.Error("split VCs must not deadlock")
+	}
+
+	// Safe control 2: shared VCs where classes never share links
+	// (bottom+XY) — this IS the paper's VC monopolizing.
+	mono := base
+	mono.Placement = config.PlacementBottom
+	mono.NoC.VCPolicy = config.VCMonopolized
+	_, dead = MustNew(mono).Run(40000, 1)
+	if dead {
+		t.Error("monopolized VCs on bottom+XY must not deadlock")
+	}
+}
+
+// TestValidateRejectsUnsafe: the constructor refuses unsafe configurations
+// when asked to validate.
+func TestValidateRejectsUnsafe(t *testing.T) {
+	p := DefaultParams()
+	p.Placement = config.PlacementDiamond
+	p.NoC.VCPolicy = config.VCMonopolized
+	p.Validate = true
+	if _, err := New(p); err == nil {
+		t.Error("validation should reject diamond+XY+monopolized")
+	}
+	p.NoC.VCPolicy = config.VCSplit
+	if _, err := New(p); err != nil {
+		t.Errorf("validation should accept diamond+XY+split: %v", err)
+	}
+}
+
+// TestThroughputImprovesWithMonopolizing: at saturating load on bottom+YX,
+// monopolized VCs deliver more flits per cycle than split VCs — the
+// mechanism behind Figure 8.
+func TestThroughputImprovesWithMonopolizing(t *testing.T) {
+	run := func(pol config.VCPolicy, rt config.Routing) float64 {
+		p := DefaultParams()
+		p.InjectionRate = 0.5
+		p.NoC.VCPolicy = pol
+		p.NoC.Routing = rt
+		h := MustNew(p)
+		st, dead := h.Run(2000, 8000)
+		if dead {
+			t.Fatalf("%s/%s deadlocked", pol, rt)
+		}
+		return st.Throughput()
+	}
+	split := run(config.VCSplit, config.RoutingYX)
+	mono := run(config.VCMonopolized, config.RoutingYX)
+	t.Logf("YX saturation throughput: split=%.3f mono=%.3f flits/cycle", split, mono)
+	if mono <= split {
+		t.Errorf("monopolizing should raise saturation throughput: split=%.3f mono=%.3f", split, mono)
+	}
+}
+
+// TestRoutingThroughputOrdering: saturation throughput orders XY < YX and
+// XY < XY-YX on the bottom placement (Figure 7's mechanism).
+func TestRoutingThroughputOrdering(t *testing.T) {
+	run := func(rt config.Routing) float64 {
+		p := DefaultParams()
+		p.InjectionRate = 0.5
+		p.NoC.Routing = rt
+		if rt == config.RoutingXYYX {
+			p.NoC.VCPolicy = config.VCSplit
+		}
+		h := MustNew(p)
+		st, dead := h.Run(2000, 8000)
+		if dead {
+			t.Fatalf("%s deadlocked", rt)
+		}
+		return st.Throughput()
+	}
+	xy, yx, xyyx := run(config.RoutingXY), run(config.RoutingYX), run(config.RoutingXYYX)
+	t.Logf("saturation throughput: XY=%.3f YX=%.3f XY-YX=%.3f flits/cycle", xy, yx, xyyx)
+	if yx <= xy {
+		t.Errorf("YX (%.3f) should beat XY (%.3f) on bottom placement", yx, xy)
+	}
+	if xyyx <= xy {
+		t.Errorf("XY-YX (%.3f) should beat XY (%.3f) on bottom placement", xyyx, xy)
+	}
+}
+
+// TestDualNetworkComparable: two physical subnets perform comparably to one
+// network with split VCs (Section 4.2's "network division" result).
+func TestDualNetworkComparable(t *testing.T) {
+	run := func(dual bool) float64 {
+		p := DefaultParams()
+		p.InjectionRate = 0.15
+		p.NoC.PhysicalSubnets = dual
+		h := MustNew(p)
+		st, dead := h.Run(2000, 8000)
+		if dead {
+			t.Fatalf("dual=%v deadlocked", dual)
+		}
+		return st.Throughput()
+	}
+	single, dual := run(false), run(true)
+	t.Logf("throughput: single=%.3f dual=%.3f", single, dual)
+	if single == 0 || dual == 0 {
+		t.Fatal("no throughput measured")
+	}
+	if r := single / dual; r < 0.85 || r > 1.35 {
+		t.Errorf("single/dual throughput ratio = %.2f, want within ~noise of 1", r)
+	}
+}
+
+// TestDualHalfWidthCostsBandwidth: an equal-wire-budget physical split
+// (half-width channels) delivers less than the single network under load —
+// the structural argument for logical division.
+func TestDualHalfWidthCostsBandwidth(t *testing.T) {
+	run := func(dual, half bool) float64 {
+		p := DefaultParams()
+		p.InjectionRate = 0.15
+		p.NoC.PhysicalSubnets = dual
+		p.NoC.SubnetHalfWidth = half
+		h := MustNew(p)
+		st, dead := h.Run(2000, 8000)
+		if dead {
+			t.Fatalf("dual=%v half=%v deadlocked", dual, half)
+		}
+		return st.Throughput()
+	}
+	single, dualHalf := run(false, false), run(true, true)
+	t.Logf("throughput: single=%.3f dual(half-width)=%.3f", single, dualHalf)
+	if dualHalf >= single {
+		t.Errorf("half-width dual (%.3f) should trail the single network (%.3f)", dualHalf, single)
+	}
+}
+
+func TestOpenLoopDropsUnderOverload(t *testing.T) {
+	p := DefaultParams()
+	p.InjectionRate = 1.0
+	p.CoreBacklog = 2
+	h := MustNew(p)
+	if _, dead := h.Run(500, 1500); dead {
+		t.Fatal("unexpected deadlock")
+	}
+	if h.RequestsDropped == 0 {
+		t.Error("open-loop overload should drop requests at the backlog bound")
+	}
+}

@@ -1,0 +1,115 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"gpgpunoc/internal/mesh"
+	"gpgpunoc/internal/packet"
+)
+
+// ParseCSV reads a trace written by CSVWriter back into a Collector, so the
+// same analysis (latencies, paths, hop histograms) runs offline on saved
+// traces.
+func ParseCSV(r io.Reader) (*Collector, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 9
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if header[0] != "cycle" || header[1] != "event" {
+		return nil, fmt.Errorf("trace: unexpected header %v", header)
+	}
+	kinds := map[string]Kind{"inject": Injected, "hop": Hop, "eject": Ejected}
+	types := map[string]packet.Type{}
+	for t := packet.Type(0); t < packet.NumTypes; t++ {
+		types[t.String()] = t
+	}
+	dirs := map[string]mesh.Direction{}
+	for d := mesh.North; d <= mesh.Local; d++ {
+		dirs[d.String()] = d
+	}
+
+	c := &Collector{}
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return c, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		e := Event{}
+		if e.Cycle, err = strconv.ParseInt(rec[0], 10, 64); err != nil {
+			return nil, fmt.Errorf("trace: line %d cycle: %w", line, err)
+		}
+		kind, ok := kinds[rec[1]]
+		if !ok {
+			return nil, fmt.Errorf("trace: line %d: unknown event %q", line, rec[1])
+		}
+		e.Kind = kind
+		if e.Packet, err = strconv.ParseUint(rec[2], 10, 64); err != nil {
+			return nil, fmt.Errorf("trace: line %d packet: %w", line, err)
+		}
+		typ, ok := types[rec[3]]
+		if !ok {
+			return nil, fmt.Errorf("trace: line %d: unknown type %q", line, rec[3])
+		}
+		e.Type = typ
+		if e.Src, err = strconv.Atoi(rec[4]); err != nil {
+			return nil, fmt.Errorf("trace: line %d src: %w", line, err)
+		}
+		if e.Dst, err = strconv.Atoi(rec[5]); err != nil {
+			return nil, fmt.Errorf("trace: line %d dst: %w", line, err)
+		}
+		if e.Seq, err = strconv.Atoi(rec[6]); err != nil {
+			return nil, fmt.Errorf("trace: line %d seq: %w", line, err)
+		}
+		if kind == Hop {
+			from, err := strconv.Atoi(rec[7])
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d link: %w", line, err)
+			}
+			dir, ok := dirs[rec[8]]
+			if !ok {
+				return nil, fmt.Errorf("trace: line %d: unknown direction %q", line, rec[8])
+			}
+			e.Link = mesh.Link{From: mesh.NodeID(from), Dir: dir}
+		}
+		c.Events = append(c.Events, e)
+	}
+}
+
+// Summary aggregates a collector into per-type delivery and latency stats.
+type Summary struct {
+	Delivered map[packet.Type]int
+	MeanLat   map[packet.Type]float64
+	MaxLat    map[packet.Type]int64
+	Hops      map[int]int
+}
+
+// Summarize computes delivery counts, latency moments and the hop
+// histogram.
+func (c *Collector) Summarize() Summary {
+	s := Summary{
+		Delivered: map[packet.Type]int{},
+		MeanLat:   map[packet.Type]float64{},
+		MaxLat:    map[packet.Type]int64{},
+		Hops:      c.HopHistogram(),
+	}
+	sums := map[packet.Type]int64{}
+	for _, l := range c.Latencies() {
+		s.Delivered[l.Type]++
+		sums[l.Type] += l.Cycles()
+		if l.Cycles() > s.MaxLat[l.Type] {
+			s.MaxLat[l.Type] = l.Cycles()
+		}
+	}
+	for t, n := range s.Delivered {
+		s.MeanLat[t] = float64(sums[t]) / float64(n)
+	}
+	return s
+}

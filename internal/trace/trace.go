@@ -1,0 +1,180 @@
+// Package trace records packet and flit lifecycle events from the NoC for
+// offline analysis: a streaming CSV writer for external tooling, and an
+// in-memory collector with latency/path analysis used by tests and the
+// traceview tool.
+//
+// Tracing is opt-in (noc.Network.SetTracer); a disabled tracer costs one nil
+// check per event site.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+
+	"gpgpunoc/internal/mesh"
+	"gpgpunoc/internal/packet"
+)
+
+// Kind labels an event.
+type Kind uint8
+
+// Event kinds.
+const (
+	Injected Kind = iota
+	Hop
+	Ejected
+)
+
+var kindNames = [3]string{"inject", "hop", "eject"}
+
+// String names the kind.
+func (k Kind) String() string { return kindNames[k] }
+
+// Event is one recorded occurrence.
+type Event struct {
+	Cycle  int64
+	Kind   Kind
+	Packet uint64
+	Type   packet.Type
+	Src    int
+	Dst    int
+	Seq    int       // flit sequence for Hop events
+	Link   mesh.Link // valid for Hop events
+}
+
+// CSVWriter streams events as CSV rows; it implements noc.Tracer.
+type CSVWriter struct {
+	w   *bufio.Writer
+	err error
+}
+
+// NewCSVWriter wraps w and emits the header row.
+func NewCSVWriter(w io.Writer) *CSVWriter {
+	cw := &CSVWriter{w: bufio.NewWriter(w)}
+	_, cw.err = fmt.Fprintln(cw.w, "cycle,event,packet,type,src,dst,seq,link_from,link_dir")
+	return cw
+}
+
+func (cw *CSVWriter) row(cycle int64, kind Kind, p *packet.Packet, seq int, link string) {
+	if cw.err != nil {
+		return
+	}
+	_, cw.err = fmt.Fprintf(cw.w, "%d,%s,%d,%s,%d,%d,%d,%s\n",
+		cycle, kind, p.ID, p.Type, p.Src, p.Dst, seq, link)
+}
+
+// PacketInjected implements noc.Tracer.
+func (cw *CSVWriter) PacketInjected(p *packet.Packet, cycle int64) {
+	cw.row(cycle, Injected, p, 0, ",")
+}
+
+// FlitHop implements noc.Tracer.
+func (cw *CSVWriter) FlitHop(f packet.Flit, l mesh.Link, cycle int64) {
+	cw.row(cycle, Hop, f.Pkt, f.Seq, fmt.Sprintf("%d,%s", int(l.From), l.Dir))
+}
+
+// PacketEjected implements noc.Tracer.
+func (cw *CSVWriter) PacketEjected(p *packet.Packet, cycle int64) {
+	cw.row(cycle, Ejected, p, p.Flits-1, ",")
+}
+
+// Flush drains buffered rows and reports the first write error.
+func (cw *CSVWriter) Flush() error {
+	if cw.err != nil {
+		return cw.err
+	}
+	return cw.w.Flush()
+}
+
+// Collector retains events in memory; it implements noc.Tracer.
+type Collector struct {
+	Events []Event
+	// HopsOnly limits collection to Hop events when set (packet events are
+	// reconstructable from first/last hops for single-path routing).
+	HopsOnly bool
+}
+
+// PacketInjected implements noc.Tracer.
+func (c *Collector) PacketInjected(p *packet.Packet, cycle int64) {
+	if c.HopsOnly {
+		return
+	}
+	c.Events = append(c.Events, Event{Cycle: cycle, Kind: Injected, Packet: p.ID,
+		Type: p.Type, Src: p.Src, Dst: p.Dst})
+}
+
+// FlitHop implements noc.Tracer.
+func (c *Collector) FlitHop(f packet.Flit, l mesh.Link, cycle int64) {
+	c.Events = append(c.Events, Event{Cycle: cycle, Kind: Hop, Packet: f.Pkt.ID,
+		Type: f.Pkt.Type, Src: f.Pkt.Src, Dst: f.Pkt.Dst, Seq: f.Seq, Link: l})
+}
+
+// PacketEjected implements noc.Tracer. Seq carries the tail flit index,
+// matching the CSV form so parsed and live collectors are interchangeable.
+func (c *Collector) PacketEjected(p *packet.Packet, cycle int64) {
+	if c.HopsOnly {
+		return
+	}
+	c.Events = append(c.Events, Event{Cycle: cycle, Kind: Ejected, Packet: p.ID,
+		Type: p.Type, Src: p.Src, Dst: p.Dst, Seq: p.Flits - 1})
+}
+
+// Latency is an end-to-end packet observation.
+type Latency struct {
+	Packet   uint64
+	Type     packet.Type
+	Injected int64
+	Ejected  int64
+}
+
+// Cycles returns the packet's in-network latency.
+func (l Latency) Cycles() int64 { return l.Ejected - l.Injected }
+
+// Latencies pairs inject/eject events per packet, sorted by ejection time.
+// Packets still in flight at the end of the trace are omitted.
+func (c *Collector) Latencies() []Latency {
+	inject := map[uint64]Event{}
+	var out []Latency
+	for _, e := range c.Events {
+		switch e.Kind {
+		case Injected:
+			inject[e.Packet] = e
+		case Ejected:
+			if in, ok := inject[e.Packet]; ok {
+				out = append(out, Latency{Packet: e.Packet, Type: e.Type,
+					Injected: in.Cycle, Ejected: e.Cycle})
+				delete(inject, e.Packet)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Ejected < out[j].Ejected })
+	return out
+}
+
+// Path returns the links packet id's head flit traversed, in order.
+func (c *Collector) Path(id uint64) []mesh.Link {
+	var links []mesh.Link
+	for _, e := range c.Events {
+		if e.Kind == Hop && e.Packet == id && e.Seq == 0 {
+			links = append(links, e.Link)
+		}
+	}
+	return links
+}
+
+// HopHistogram counts head-flit hops per delivered packet.
+func (c *Collector) HopHistogram() map[int]int {
+	hops := map[uint64]int{}
+	for _, e := range c.Events {
+		if e.Kind == Hop && e.Seq == 0 {
+			hops[e.Packet]++
+		}
+	}
+	hist := map[int]int{}
+	for _, h := range hops {
+		hist[h]++
+	}
+	return hist
+}

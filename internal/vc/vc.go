@@ -1,0 +1,183 @@
+// Package vc implements the virtual-channel partitioning policies of
+// Section 3.2.1. A policy decides, for every directed link, which VC indices
+// at the downstream input port a packet of a given traffic class may acquire.
+//
+// The mechanics of protocol-deadlock avoidance are entirely captured here:
+// replies can always drain if, on every link where requests and replies mix,
+// the two classes use disjoint VC sets. Whether a given (placement, routing)
+// combination mixes classes on a link at all is determined by package core's
+// analyzer; this package only expresses the partitions.
+package vc
+
+import (
+	"fmt"
+
+	"gpgpunoc/internal/config"
+	"gpgpunoc/internal/mesh"
+	"gpgpunoc/internal/packet"
+)
+
+// Assigner maps a directed link to the VC range each traffic class may use
+// on it. Policy implements it uniformly by link orientation; LinkAware
+// implements the generalized partial-monopolizing scheme with per-link
+// resolution driven by the core package's route analysis.
+type Assigner interface {
+	// RangeFor returns the VC interval class cls may use on link l.
+	// Injection (local) ports pass orient == mesh.LocalPort.
+	RangeFor(l mesh.Link, orient mesh.Orientation, cls packet.Class) Range
+	// Name identifies the assigner in reports.
+	Name() config.VCPolicy
+}
+
+// Range is a half-open interval [Lo, Hi) of VC indices.
+type Range struct {
+	Lo, Hi int
+}
+
+// Count returns the number of VCs in the range.
+func (r Range) Count() int { return r.Hi - r.Lo }
+
+// Contains reports whether vc lies in the range.
+func (r Range) Contains(vc int) bool { return vc >= r.Lo && vc < r.Hi }
+
+// Overlaps reports whether two ranges share any VC.
+func (r Range) Overlaps(o Range) bool { return r.Lo < o.Hi && o.Lo < r.Hi }
+
+// String formats the range as "[lo,hi)".
+func (r Range) String() string { return fmt.Sprintf("[%d,%d)", r.Lo, r.Hi) }
+
+// Policy maps (link orientation, traffic class) to the VC range a packet may
+// use on that link. Policies are immutable after construction.
+type Policy struct {
+	name   config.VCPolicy
+	total  int
+	ranges [3][packet.NumClasses]Range // orientation x class
+}
+
+// NewPolicy builds the policy selected by cfg. The returned policy is purely
+// mechanical; callers wanting safety guarantees must run it through the
+// core.Analyze verdict for their placement and routing.
+func NewPolicy(cfg config.NoC) (Policy, error) {
+	v := cfg.VCsPerPort
+	p := Policy{name: cfg.VCPolicy, total: v}
+	full := Range{0, v}
+	half := v / 2
+	splitReq, splitRep := Range{0, half}, Range{half, v}
+
+	setAll := func(req, rep Range) {
+		for o := 0; o < 3; o++ {
+			p.ranges[o][packet.Request] = req
+			p.ranges[o][packet.Reply] = rep
+		}
+	}
+
+	switch cfg.VCPolicy {
+	case config.VCSplit:
+		if v < 2 {
+			return Policy{}, fmt.Errorf("vc: split policy needs >= 2 VCs, have %d", v)
+		}
+		setAll(splitReq, splitRep)
+
+	case config.VCAsymmetric:
+		r := cfg.AsymmetricRequestVCs
+		if r < 1 || r >= v {
+			return Policy{}, fmt.Errorf("vc: asymmetric split %d:%d invalid for %d VCs", r, v-r, v)
+		}
+		setAll(Range{0, r}, Range{r, v})
+
+	case config.VCMonopolized, config.VCShared:
+		// Mechanically identical: every class may use every VC. Monopolized
+		// is the paper's proposal, legal only when the link-usage analysis
+		// proves the classes never share a directed link; Shared is the
+		// deliberately unsafe configuration used to demonstrate protocol
+		// deadlock on mixing configurations.
+		setAll(full, full)
+
+	case config.VCPartialMonopolized:
+		// XY-YX mixes classes only on horizontal links (Figure 6c): keep
+		// the split there, monopolize vertical links and the local ports.
+		if v < 2 {
+			return Policy{}, fmt.Errorf("vc: partial policy needs >= 2 VCs, have %d", v)
+		}
+		setAll(full, full)
+		p.ranges[mesh.Horizontal][packet.Request] = splitReq
+		p.ranges[mesh.Horizontal][packet.Reply] = splitRep
+
+	default:
+		return Policy{}, fmt.Errorf("vc: unknown policy %q", cfg.VCPolicy)
+	}
+
+	// Injection (local) ports never mix classes: a core injects only
+	// requests and an MC only replies. Give them the full range regardless
+	// of the link policy so injection is never the artificial bottleneck.
+	p.ranges[mesh.LocalPort][packet.Request] = full
+	p.ranges[mesh.LocalPort][packet.Reply] = full
+	return p, nil
+}
+
+// MustNewPolicy is NewPolicy panicking on error.
+func MustNewPolicy(cfg config.NoC) Policy {
+	p, err := NewPolicy(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Name returns the configured policy name.
+func (p Policy) Name() config.VCPolicy { return p.name }
+
+// Total returns the number of VCs per port the policy was built for.
+func (p Policy) Total() int { return p.total }
+
+// Range returns the VC interval class cls may use on links of orientation o.
+func (p Policy) Range(o mesh.Orientation, cls packet.Class) Range {
+	return p.ranges[o][cls]
+}
+
+// RangeFor implements Assigner; a Policy ignores the concrete link.
+func (p Policy) RangeFor(_ mesh.Link, o mesh.Orientation, cls packet.Class) Range {
+	return p.ranges[o][cls]
+}
+
+// LinkAware is the generalized partial-monopolizing assigner: links carrying
+// a single traffic class are fully monopolized (every VC available to that
+// class); links where the classes mix keep the symmetric split. The Mixed
+// predicate comes from the core package's exact route enumeration, so the
+// assigner is protocol-deadlock safe by construction for the placement and
+// routing it was derived from — this is what lets Figure 9 apply "PM" to
+// placements like diamond where mixing is not orientation-aligned.
+type LinkAware struct {
+	Total int
+	Mixed func(mesh.Link) bool
+}
+
+// RangeFor implements Assigner.
+func (a LinkAware) RangeFor(l mesh.Link, o mesh.Orientation, cls packet.Class) Range {
+	if o == mesh.LocalPort || !a.Mixed(l) {
+		return Range{0, a.Total}
+	}
+	half := a.Total / 2
+	if cls == packet.Request {
+		return Range{0, half}
+	}
+	return Range{half, a.Total}
+}
+
+// Name implements Assigner.
+func (a LinkAware) Name() config.VCPolicy { return config.VCPartialMonopolized }
+
+// Disjoint reports whether the two classes use non-overlapping VC sets on
+// links of orientation o. Protocol-deadlock freedom on a mixing link requires
+// disjointness there.
+func (p Policy) Disjoint(o mesh.Orientation) bool {
+	return !p.ranges[o][packet.Request].Overlaps(p.ranges[o][packet.Reply])
+}
+
+// String summarizes the policy.
+func (p Policy) String() string {
+	return fmt.Sprintf("%s(V=%d, H:req%s/rep%s, V:req%s/rep%s)",
+		p.name, p.total,
+		p.ranges[mesh.Horizontal][packet.Request], p.ranges[mesh.Horizontal][packet.Reply],
+		p.ranges[mesh.Vertical][packet.Request], p.ranges[mesh.Vertical][packet.Reply])
+}

@@ -1,0 +1,157 @@
+package vc
+
+import (
+	"testing"
+
+	"gpgpunoc/internal/config"
+	"gpgpunoc/internal/mesh"
+	"gpgpunoc/internal/packet"
+)
+
+func nocCfg(policy config.VCPolicy, vcs int) config.NoC {
+	c := config.Default().NoC
+	c.VCPolicy = policy
+	c.VCsPerPort = vcs
+	return c
+}
+
+func TestSplitPolicy(t *testing.T) {
+	p := MustNewPolicy(nocCfg(config.VCSplit, 4))
+	req := p.Range(mesh.Horizontal, packet.Request)
+	rep := p.Range(mesh.Horizontal, packet.Reply)
+	if req != (Range{0, 2}) || rep != (Range{2, 4}) {
+		t.Errorf("split 4 VCs: req %s rep %s, want [0,2)/[2,4)", req, rep)
+	}
+	for _, o := range []mesh.Orientation{mesh.Horizontal, mesh.Vertical} {
+		if !p.Disjoint(o) {
+			t.Errorf("split must be disjoint on %s links", o)
+		}
+	}
+}
+
+func TestAsymmetricPolicy(t *testing.T) {
+	c := nocCfg(config.VCAsymmetric, 4)
+	c.AsymmetricRequestVCs = 1
+	p := MustNewPolicy(c)
+	if got := p.Range(mesh.Vertical, packet.Request); got != (Range{0, 1}) {
+		t.Errorf("request range %s, want [0,1)", got)
+	}
+	if got := p.Range(mesh.Vertical, packet.Reply); got != (Range{1, 4}) {
+		t.Errorf("reply range %s, want [1,4)", got)
+	}
+	if !p.Disjoint(mesh.Horizontal) || !p.Disjoint(mesh.Vertical) {
+		t.Error("asymmetric partition must be disjoint everywhere")
+	}
+	// Reply side must be strictly larger — the point of the scheme.
+	if p.Range(mesh.Vertical, packet.Reply).Count() <= p.Range(mesh.Vertical, packet.Request).Count() {
+		t.Error("asymmetric policy must favor replies")
+	}
+}
+
+func TestMonopolizedPolicy(t *testing.T) {
+	p := MustNewPolicy(nocCfg(config.VCMonopolized, 2))
+	for _, o := range []mesh.Orientation{mesh.Horizontal, mesh.Vertical} {
+		for _, cls := range []packet.Class{packet.Request, packet.Reply} {
+			if got := p.Range(o, cls); got != (Range{0, 2}) {
+				t.Errorf("monopolized %s/%s = %s, want [0,2)", o, cls, got)
+			}
+		}
+		if p.Disjoint(o) {
+			t.Errorf("monopolized ranges must overlap on %s links", o)
+		}
+	}
+}
+
+func TestPartialMonopolizedPolicy(t *testing.T) {
+	p := MustNewPolicy(nocCfg(config.VCPartialMonopolized, 2))
+	// Vertical links monopolized (both classes get all VCs).
+	if p.Disjoint(mesh.Vertical) {
+		t.Error("partial policy must monopolize vertical links")
+	}
+	if got := p.Range(mesh.Vertical, packet.Reply); got.Count() != 2 {
+		t.Errorf("vertical reply VCs = %d, want 2", got.Count())
+	}
+	// Horizontal links stay partitioned (XY-YX mixes classes there).
+	if !p.Disjoint(mesh.Horizontal) {
+		t.Error("partial policy must keep horizontal links partitioned")
+	}
+}
+
+func TestSharedEqualsMonopolizedMechanics(t *testing.T) {
+	sh := MustNewPolicy(nocCfg(config.VCShared, 2))
+	mo := MustNewPolicy(nocCfg(config.VCMonopolized, 2))
+	for o := mesh.Orientation(0); o < 3; o++ {
+		for _, cls := range []packet.Class{packet.Request, packet.Reply} {
+			if sh.Range(o, cls) != mo.Range(o, cls) {
+				t.Errorf("shared and monopolized should be mechanically identical at %s/%s", o, cls)
+			}
+		}
+	}
+}
+
+func TestLocalPortsNeverRestricted(t *testing.T) {
+	for _, pol := range []config.VCPolicy{
+		config.VCSplit, config.VCAsymmetric, config.VCMonopolized,
+		config.VCPartialMonopolized, config.VCShared,
+	} {
+		c := nocCfg(pol, 4)
+		c.AsymmetricRequestVCs = 1
+		p := MustNewPolicy(c)
+		for _, cls := range []packet.Class{packet.Request, packet.Reply} {
+			if got := p.Range(mesh.LocalPort, cls); got != (Range{0, 4}) {
+				t.Errorf("%s: local %s range = %s, want full", pol, cls, got)
+			}
+		}
+	}
+}
+
+func TestPolicyErrors(t *testing.T) {
+	if _, err := NewPolicy(nocCfg(config.VCSplit, 1)); err == nil {
+		t.Error("split with 1 VC must fail")
+	}
+	bad := nocCfg(config.VCAsymmetric, 4)
+	bad.AsymmetricRequestVCs = 4
+	if _, err := NewPolicy(bad); err == nil {
+		t.Error("asymmetric with all request VCs must fail")
+	}
+	if _, err := NewPolicy(nocCfg("imaginary", 2)); err == nil {
+		t.Error("unknown policy must fail")
+	}
+	if _, err := NewPolicy(nocCfg(config.VCPartialMonopolized, 1)); err == nil {
+		t.Error("partial with 1 VC must fail")
+	}
+}
+
+func TestRangeHelpers(t *testing.T) {
+	r := Range{1, 3}
+	if r.Count() != 2 {
+		t.Errorf("Count = %d, want 2", r.Count())
+	}
+	if !r.Contains(1) || !r.Contains(2) || r.Contains(0) || r.Contains(3) {
+		t.Error("Contains boundaries wrong")
+	}
+	if !r.Overlaps(Range{2, 5}) || r.Overlaps(Range{3, 5}) || r.Overlaps(Range{0, 1}) {
+		t.Error("Overlaps boundaries wrong")
+	}
+}
+
+func TestVCConservation(t *testing.T) {
+	// Partitioning policies must hand out exactly the configured VC count.
+	for _, tc := range []struct {
+		pol config.VCPolicy
+		vcs int
+	}{
+		{config.VCSplit, 2}, {config.VCSplit, 4}, {config.VCSplit, 8},
+		{config.VCAsymmetric, 4}, {config.VCAsymmetric, 8},
+	} {
+		c := nocCfg(tc.pol, tc.vcs)
+		c.AsymmetricRequestVCs = 1
+		p := MustNewPolicy(c)
+		for _, o := range []mesh.Orientation{mesh.Horizontal, mesh.Vertical} {
+			sum := p.Range(o, packet.Request).Count() + p.Range(o, packet.Reply).Count()
+			if sum != tc.vcs {
+				t.Errorf("%s with %d VCs: partitions sum to %d on %s", tc.pol, tc.vcs, sum, o)
+			}
+		}
+	}
+}
