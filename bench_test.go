@@ -346,7 +346,7 @@ func BenchmarkRouterStep(b *testing.B) {
 // BenchmarkGPUCycle measures full-system cycles per second.
 func BenchmarkGPUCycle(b *testing.B) {
 	cfg := config.Default()
-	sim, err := gpu.New(cfg, workload.MustGet("KMN"), gpu.Options{})
+	sim, err := gpu.New(cfg, workload.MustGet("KMN"))
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -5,15 +5,19 @@
 //	experiments -run all
 //	experiments -run fig7,fig8
 //	experiments -run fig9 -cycles 40000 -parallel 8
+//	experiments -run fig7 -format json
+//	experiments -run fig2,fig3 -format csv > traffic.csv
 //	experiments -list
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
+	"gpgpunoc/internal/config"
 	"gpgpunoc/internal/experiments"
 )
 
@@ -22,11 +26,13 @@ func main() {
 		run       = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
 		list      = flag.Bool("list", false, "list available experiments and exit")
 		benchmark = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all 25)")
-		cycles    = flag.Int("cycles", 0, "measurement cycles override")
-		warmup    = flag.Int("warmup", 0, "warmup cycles override")
 		parallel  = flag.Int("parallel", 0, "worker goroutines (default GOMAXPROCS)")
-		seed      = flag.Uint64("seed", 0, "seed override")
+		format    = flag.String("format", "text", "output format: text, json or csv")
 	)
+	// Configuration overrides (-cycles, -warmup, -seed, -vcs, ...) come
+	// from the shared config.BindFlags API and are layered over each
+	// experiment's own base configuration.
+	cf := config.BindFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -36,11 +42,16 @@ func main() {
 		return
 	}
 
+	switch *format {
+	case "text", "json", "csv":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -format %q (want text, json or csv)\n", *format)
+		os.Exit(1)
+	}
+
 	opts := experiments.Opts{
-		MeasureCycles: *cycles,
-		WarmupCycles:  *warmup,
-		Parallel:      *parallel,
-		Seed:          *seed,
+		Parallel:  *parallel,
+		Overrides: cf.Overrides(),
 	}
 	if *benchmark != "" {
 		opts.Benchmarks = strings.Split(*benchmark, ",")
@@ -55,6 +66,7 @@ func main() {
 		ids = strings.Split(*run, ",")
 	}
 
+	var tables []*experiments.Table
 	for _, id := range ids {
 		r, err := experiments.ByID(strings.TrimSpace(id))
 		if err != nil {
@@ -66,6 +78,34 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", r.ID, err)
 			os.Exit(1)
 		}
-		t.Fprint(os.Stdout)
+		if *format == "text" {
+			t.Fprint(os.Stdout) // stream tables as they finish
+		}
+		tables = append(tables, t)
+	}
+
+	switch *format {
+	case "text":
+		// already streamed
+	case "json":
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(tables); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case "csv":
+		for i, t := range tables {
+			if i > 0 {
+				fmt.Println()
+			}
+			if len(tables) > 1 {
+				fmt.Printf("# %s: %s\n", t.ID, t.Title)
+			}
+			if err := t.WriteCSV(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
 	}
 }

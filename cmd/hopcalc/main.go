@@ -1,10 +1,11 @@
 // Command hopcalc evaluates the Section 3.1.2 hop-count analysis: Table 1's
-// closed forms next to exact Equation 3 enumeration, for the 8x8 system and
-// an optional mesh-size sweep.
+// closed forms next to exact Equation 3 enumeration, for the configured
+// system and an optional mesh-size sweep.
 //
 // Examples:
 //
 //	hopcalc
+//	hopcalc -config mysystem.json
 //	hopcalc -sweep 4,8,12,16
 package main
 
@@ -23,9 +24,18 @@ import (
 
 func main() {
 	sweep := flag.String("sweep", "", "comma-separated mesh sizes N (NxN mesh, N MCs) to sweep")
+	// The analyzed system (mesh dimensions, MC count) comes from the
+	// shared config.BindFlags API: -config file.json analyzes that system.
+	cf := config.BindFlags(flag.CommandLine)
 	flag.Parse()
 
-	t, err := experiments.Table1()
+	cfg, err := cf.Config()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	t, err := experiments.Table1For(cfg.NoC.Width, cfg.NoC.Height, cfg.Mem.NumMCs)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

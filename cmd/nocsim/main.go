@@ -24,51 +24,29 @@ import (
 
 func main() {
 	var (
-		bench     = flag.String("bench", "KMN", "benchmark name ("+strings.Join(workload.Names(), ",")+")")
-		placement = flag.String("placement", "bottom", "MC placement: bottom, top, edge, top-bottom, diamond")
-		routing   = flag.String("routing", "xy", "routing algorithm: xy, yx, xy-yx")
-		vcpolicy  = flag.String("vcpolicy", "split", "VC policy: split, asymmetric, monopolized, partial, shared")
-		vcs       = flag.Int("vcs", 2, "virtual channels per port")
-		depth     = flag.Int("depth", 4, "VC buffer depth in flits")
-		reqVCs    = flag.Int("reqvcs", 1, "request VCs under the asymmetric policy")
-		cycles    = flag.Int("cycles", 20000, "measurement cycles")
-		warmup    = flag.Int("warmup", 2000, "warmup cycles")
-		seed      = flag.Uint64("seed", 1, "random seed")
-		dual      = flag.Bool("dual", false, "use two physical subnetworks instead of VC separation")
-		unsafe    = flag.Bool("allow-unsafe", false, "skip the protocol-deadlock safety check")
-		heatmap   = flag.Bool("heatmap", false, "print per-direction link utilization heatmaps")
-		linkCSV   = flag.String("linkcsv", "", "write per-link flit counts as CSV to this file")
-		traceCSV  = flag.String("trace", "", "write a packet/flit lifecycle trace as CSV to this file")
-		cfgFile   = flag.String("config", "", "load a JSON configuration file (flags override it)")
+		bench    = flag.String("bench", "KMN", "benchmark name ("+strings.Join(workload.Names(), ",")+")")
+		heatmap  = flag.Bool("heatmap", false, "print per-direction link utilization heatmaps")
+		linkCSV  = flag.String("linkcsv", "", "write per-link flit counts as CSV to this file")
+		traceCSV = flag.String("trace", "", "write a packet/flit lifecycle trace as CSV to this file")
 	)
+	// All simulation-configuration flags (-config, -placement, -routing,
+	// -vcpolicy, -vcs, -depth, -cycles, -seed, -allow-unsafe, ...) come
+	// from the shared config.BindFlags API.
+	cf := config.BindFlags(flag.CommandLine)
 	flag.Parse()
 
-	cfg := config.Default()
-	if *cfgFile != "" {
-		var err error
-		cfg, err = config.ReadFile(*cfgFile)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
+	cfg, err := cf.Config()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
-	cfg.Placement = config.Placement(*placement)
-	cfg.NoC.Routing = config.Routing(*routing)
-	cfg.NoC.VCPolicy = config.VCPolicy(*vcpolicy)
-	cfg.NoC.VCsPerPort = *vcs
-	cfg.NoC.VCDepth = *depth
-	cfg.NoC.AsymmetricRequestVCs = *reqVCs
-	cfg.NoC.PhysicalSubnets = *dual
-	cfg.MeasureCycles = *cycles
-	cfg.WarmupCycles = *warmup
-	cfg.Seed = *seed
 
 	prof, err := workload.Get(*bench)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	sim, err := gpu.New(cfg, prof, gpu.Options{AllowUnsafe: *unsafe})
+	sim, err := gpu.New(cfg, prof)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -1,0 +1,201 @@
+// Command sweep runs a design-space sweep: a grid of independent
+// simulations defined by a JSON spec file or by flags, executed on a
+// bounded worker pool with per-job timeouts and panic isolation, streaming
+// one JSONL record per job so partial results are usable and re-runs
+// resume where they left off.
+//
+// Examples:
+//
+//	sweep -spec examples/sweepspec.json -out results.jsonl
+//	sweep -benchmarks KMN,BFS -routings xy,yx -vcpolicies split,monopolized -seeds 1,2
+//	sweep -spec examples/sweepspec.json -out results.jsonl            # re-run: resumes
+//	sweep -spec examples/sweepspec.json -dry-run                      # list the grid
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"time"
+
+	"gpgpunoc/internal/config"
+	"gpgpunoc/internal/gpu"
+	"gpgpunoc/internal/sweep"
+	"gpgpunoc/internal/workload"
+)
+
+func main() {
+	var (
+		specFile = flag.String("spec", "", "JSON sweep spec file (grid flags are ignored when set)")
+		out      = flag.String("out", "sweep.jsonl", "JSONL results file (appended)")
+		workers  = flag.Int("workers", 0, "concurrent jobs (default GOMAXPROCS)")
+		timeout  = flag.Duration("timeout", 0, "per-job timeout, e.g. 30s (default none)")
+		resume   = flag.Bool("resume", true, "skip jobs whose fingerprint is already in -out")
+		dryRun   = flag.Bool("dry-run", false, "print the expanded job list and exit")
+		quiet    = flag.Bool("quiet", false, "suppress per-job progress lines")
+		panicAt  = flag.Int("panic-at", -1, "inject a panic into the Nth job (failure-isolation testing)")
+
+		benchmarks = flag.String("benchmarks", "", "comma-separated benchmarks ("+strings.Join(workload.Names(), ",")+"); default all")
+		placements = flag.String("placements", "", "comma-separated placement grid (default: base placement)")
+		routings   = flag.String("routings", "", "comma-separated routing grid (default: base routing)")
+		vcpolicies = flag.String("vcpolicies", "", "comma-separated VC policy grid (default: base policy)")
+		vcsList    = flag.String("vcs-grid", "", "comma-separated VCs-per-port grid (default: base)")
+		depthList  = flag.String("depth-grid", "", "comma-separated VC depth grid (default: base)")
+		seeds      = flag.String("seeds", "", "comma-separated seed grid (default: base seed)")
+		skipBad    = flag.Bool("skip-invalid", true, "drop grid points failing validation instead of erroring")
+	)
+	// The base configuration under the grid comes from the shared
+	// flag→config API, so `-config file.json` or `-vcs 4` shapes every job.
+	cf := config.BindFlags(flag.CommandLine)
+	flag.Parse()
+
+	spec, err := buildSpec(*specFile, cf, gridFlags{
+		benchmarks: *benchmarks, placements: *placements, routings: *routings,
+		vcpolicies: *vcpolicies, vcs: *vcsList, depths: *depthList, seeds: *seeds,
+		skipInvalid: *skipBad,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	jobs, skipped, err := spec.Expand()
+	if err != nil {
+		fatal(err)
+	}
+	for _, s := range skipped {
+		fmt.Fprintf(os.Stderr, "skip-invalid %s: %s\n", s.Key, s.Reason)
+	}
+
+	if *dryRun {
+		for _, j := range jobs {
+			fmt.Printf("%s %s\n", j.Fingerprint(), j.Key)
+		}
+		fmt.Printf("%d jobs (%d invalid grid points dropped)\n", len(jobs), len(skipped))
+		return
+	}
+
+	done := map[string]bool{}
+	if *resume {
+		if done, err = sweep.CompletedFingerprints(*out); err != nil {
+			fatal(err)
+		}
+	}
+	sink, err := sweep.OpenJSONL(*out)
+	if err != nil {
+		fatal(err)
+	}
+
+	opts := sweep.Options{Workers: *workers, Timeout: *timeout, Done: done}
+	var printer *sweep.Printer
+	if !*quiet {
+		printer = sweep.NewPrinter(os.Stderr, len(jobs))
+		opts.Progress = printer.Handle
+	}
+	// Fault injection wraps the default runner rather than replacing it,
+	// so every job except the targeted one still simulates for real.
+	if *panicAt >= 0 {
+		target := jobs[min(*panicAt, len(jobs)-1)].Key
+		opts.Run = func(ctx context.Context, j sweep.Job) (gpu.Result, error) {
+			if j.Key == target {
+				panic(fmt.Sprintf("injected panic in job %s (-panic-at %d)", j.Key, *panicAt))
+			}
+			return sweep.Simulate(ctx, j)
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	start := time.Now()
+	outs, runErr := sweep.Run(ctx, jobs, sink, opts)
+	summary := sweep.Summarize(outs)
+	if cerr := sink.Close(); cerr != nil && runErr == nil {
+		runErr = cerr
+	}
+	if printer != nil {
+		printer.Finish(summary)
+	} else {
+		fmt.Fprintf(os.Stderr, "sweep finished in %.1fs: %s\n", time.Since(start).Seconds(), summary)
+	}
+	fmt.Printf("results: %s (%d records this run)\n", *out, summary.OK+summary.Failed)
+	if runErr != nil {
+		fatal(runErr)
+	}
+}
+
+type gridFlags struct {
+	benchmarks, placements, routings, vcpolicies, vcs, depths, seeds string
+	skipInvalid                                                      bool
+}
+
+// buildSpec assembles the sweep spec from a file or from the grid flags
+// layered over the shared base configuration.
+func buildSpec(specFile string, cf *config.Flags, g gridFlags) (sweep.Spec, error) {
+	if specFile != "" {
+		return sweep.ReadSpec(specFile)
+	}
+	base, err := cf.Config()
+	if err != nil {
+		return sweep.Spec{}, err
+	}
+	spec := sweep.Spec{Base: &base, SkipInvalid: g.skipInvalid}
+	spec.Benchmarks = splitList(g.benchmarks)
+	for _, p := range splitList(g.placements) {
+		spec.Placements = append(spec.Placements, config.Placement(p))
+	}
+	for _, r := range splitList(g.routings) {
+		spec.Routings = append(spec.Routings, config.Routing(r))
+	}
+	for _, v := range splitList(g.vcpolicies) {
+		spec.VCPolicies = append(spec.VCPolicies, config.VCPolicy(v))
+	}
+	if spec.VCsPerPort, err = splitInts(g.vcs); err != nil {
+		return sweep.Spec{}, fmt.Errorf("-vcs-grid: %w", err)
+	}
+	if spec.VCDepths, err = splitInts(g.depths); err != nil {
+		return sweep.Spec{}, fmt.Errorf("-depth-grid: %w", err)
+	}
+	for _, s := range splitList(g.seeds) {
+		n, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			return sweep.Spec{}, fmt.Errorf("-seeds: %w", err)
+		}
+		spec.Seeds = append(spec.Seeds, n)
+	}
+	return spec, nil
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func splitInts(s string) ([]int, error) {
+	var out []int
+	for _, p := range splitList(s) {
+		n, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -14,18 +14,21 @@ import (
 	"os"
 	"strings"
 
+	"gpgpunoc/internal/config"
 	"gpgpunoc/internal/experiments"
 )
 
 func main() {
 	var (
 		benchmarks = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all)")
-		cycles     = flag.Int("cycles", 0, "measurement cycles override")
 		parallel   = flag.Int("parallel", 0, "worker goroutines")
 	)
+	// Configuration overrides (-cycles, -warmup, -seed, ...) come from
+	// the shared config.BindFlags API.
+	cf := config.BindFlags(flag.CommandLine)
 	flag.Parse()
 
-	opts := experiments.Opts{MeasureCycles: *cycles, Parallel: *parallel}
+	opts := experiments.Opts{Parallel: *parallel, Overrides: cf.Overrides()}
 	if *benchmarks != "" {
 		opts.Benchmarks = strings.Split(*benchmarks, ",")
 	}

@@ -29,7 +29,7 @@ func main() {
 	}
 
 	cfg := config.Default()
-	sim, err := gpu.New(cfg, custom, gpu.Options{})
+	sim, err := gpu.New(cfg, custom)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -54,10 +54,12 @@ func main() {
 	}
 
 	// Deliberately unsafe: full monopolizing where classes share links.
+	// config.Validate (and so gpu.New) rejects it; setting
+	// cfg.AllowUnsafe would let it run anyway and wedge.
 	unsafe := cfg
 	unsafe.Placement = config.PlacementDiamond
 	unsafe.NoC.VCPolicy = config.VCMonopolized
-	if _, err := gpu.New(unsafe, custom, gpu.Options{}); err != nil {
+	if _, err := gpu.New(unsafe, custom); err != nil {
 		fmt.Printf("\nunsafe design rejected as expected:\n  %v\n", err)
 	} else {
 		log.Fatal("analyzer failed to reject an unsafe configuration")

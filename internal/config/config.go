@@ -124,6 +124,12 @@ type Config struct {
 	// MeasureCycles are then simulated with statistics enabled.
 	WarmupCycles  int
 	MeasureCycles int
+
+	// AllowUnsafe accepts configurations the protocol-deadlock safety
+	// analysis rejects (for demonstrations that want to watch an unsafe
+	// design wedge). It travels with the configuration so every entry
+	// point — CLIs, sweep jobs, JSON files — shares one escape hatch.
+	AllowUnsafe bool
 }
 
 // Default returns the Table 2 baseline configuration: 56 SMs + 8 MCs on an
@@ -175,8 +181,24 @@ func Default() Config {
 	}
 }
 
-// Validate checks internal consistency; experiments call it before building
-// a simulator so configuration bugs fail fast with a clear message.
+// safetyCheck holds the protocol-deadlock safety analysis installed by
+// internal/core. It lives behind a registration hook because the exact
+// analysis needs path enumeration over mesh/placement/routing, which import
+// this package; the hook inverts the dependency so Validate stays the single
+// entry point for all configuration checking.
+var safetyCheck func(Config) error
+
+// RegisterSafetyCheck installs the deadlock-safety analysis Validate runs
+// on configurations that do not set AllowUnsafe. internal/core registers
+// the paper's exact link-usage analysis at init time; any package that
+// imports it (gpu, sweep, experiments, every cmd) therefore gets full
+// validation from Validate alone.
+func RegisterSafetyCheck(f func(Config) error) { safetyCheck = f }
+
+// Validate checks internal consistency; every entry point (CLIs, sweep
+// jobs, JSON files, simulator construction) calls it so configuration bugs
+// fail fast with a clear message. Beyond structural checks it runs the
+// registered protocol-deadlock safety analysis unless AllowUnsafe is set.
 func (c Config) Validate() error {
 	n := c.NoC
 	switch {
@@ -210,6 +232,9 @@ func (c Config) Validate() error {
 	if n.PhysicalSubnets && n.VCsPerPort%2 != 0 {
 		return errors.New("config: physical subnets need an even VC count to split")
 	}
+	if n.SubnetHalfWidth && !n.PhysicalSubnets {
+		return errors.New("config: SubnetHalfWidth requires PhysicalSubnets")
+	}
 	switch c.Placement {
 	case PlacementBottom, PlacementTop, PlacementEdge, PlacementTopBottom, PlacementDiamond:
 	default:
@@ -227,6 +252,17 @@ func (c Config) Validate() error {
 	}
 	if c.MeasureCycles <= 0 {
 		return errors.New("config: MeasureCycles must be positive")
+	}
+	if c.WarmupCycles < 0 {
+		return errors.New("config: WarmupCycles must be non-negative")
+	}
+	if c.Mem.MCServicePeriod <= 0 {
+		return errors.New("config: MCServicePeriod must be positive")
+	}
+	if !c.AllowUnsafe && safetyCheck != nil {
+		if err := safetyCheck(c); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -39,14 +39,25 @@ func ReadFile(path string) (Config, error) {
 // Unknown fields are rejected: a typo in an override must not silently fall
 // back to the default.
 func Parse(data []byte) (Config, error) {
+	c, err := Decode(data)
+	if err != nil {
+		return Config{}, err
+	}
+	if err := c.Validate(); err != nil {
+		return Config{}, err
+	}
+	return c, nil
+}
+
+// Decode decodes a JSON configuration over Default() without validating it.
+// Callers that layer further overrides on top (flags, sweep grids) use this
+// and run Validate once the final configuration is assembled.
+func Decode(data []byte) (Config, error) {
 	c := Default()
 	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&c); err != nil {
 		return Config{}, fmt.Errorf("config: %w", err)
-	}
-	if err := c.Validate(); err != nil {
-		return Config{}, err
 	}
 	return c, nil
 }

@@ -25,6 +25,31 @@ import (
 	"gpgpunoc/internal/vc"
 )
 
+// init installs the exact link-usage safety analysis as config.Validate's
+// deadlock check: any package importing core (gpu, sweep, experiments and
+// every cmd) gets full validation — structure plus protocol-deadlock
+// safety — from config.Validate alone. Configurations that set AllowUnsafe
+// bypass only this check, never the structural ones.
+func init() {
+	config.RegisterSafetyCheck(func(cfg config.Config) error {
+		m := mesh.New(cfg.NoC.Width, cfg.NoC.Height)
+		pl, err := placement.New(cfg.Placement, m, cfg.Mem.NumMCs)
+		if err != nil {
+			return err
+		}
+		alg, err := routing.New(cfg.NoC.Routing)
+		if err != nil {
+			return err
+		}
+		u := Analyze(m, pl, alg)
+		asg, err := BuildAssigner(u, cfg.NoC)
+		if err != nil {
+			return err
+		}
+		return u.CheckPolicy(asg)
+	})
+}
+
 // classBit marks link usage by a traffic class.
 const (
 	usedByRequest uint8 = 1 << iota
@@ -251,6 +276,10 @@ var (
 // verifies protocol-deadlock safety, returning the analysis for inspection.
 func ValidateScheme(s Scheme, base config.Config) (*LinkUsage, error) {
 	cfg := s.Apply(base)
+	// Structural validation only here: the safety analysis is done
+	// explicitly below so the LinkUsage can be returned for inspection
+	// even when the scheme is unsafe.
+	cfg.AllowUnsafe = true
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}

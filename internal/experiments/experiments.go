@@ -9,17 +9,19 @@
 package experiments
 
 import (
+	"context"
+	"encoding/csv"
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
-	"runtime"
 	"sort"
 	"strings"
-	"sync"
 
 	"gpgpunoc/internal/config"
 	"gpgpunoc/internal/core"
 	"gpgpunoc/internal/gpu"
+	"gpgpunoc/internal/sweep"
 	"gpgpunoc/internal/workload"
 )
 
@@ -33,6 +35,11 @@ type Opts struct {
 	Parallel int
 	// Seed overrides the default seed when non-zero.
 	Seed uint64
+	// Overrides layers explicitly-set configuration fields (typically
+	// from config.BindFlags) over each experiment's base configuration.
+	// Scheme-controlled dimensions (placement, routing, VC policy) are
+	// still applied by the experiment after these.
+	Overrides config.Overrides
 }
 
 func (o Opts) benchmarks() []string {
@@ -52,14 +59,7 @@ func (o Opts) apply(cfg config.Config) config.Config {
 	if o.Seed != 0 {
 		cfg.Seed = o.Seed
 	}
-	return cfg
-}
-
-func (o Opts) workers() int {
-	if o.Parallel > 0 {
-		return o.Parallel
-	}
-	return runtime.GOMAXPROCS(0)
+	return o.Overrides.Apply(cfg)
 }
 
 // Table is a printable experiment result.
@@ -118,20 +118,58 @@ func (t *Table) String() string {
 	return b.String()
 }
 
+// tableJSON is the stable wire form of a Table; field names are part of
+// the public encoding and must not change incompatibly.
+type tableJSON struct {
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
+}
+
+// MarshalJSON encodes the table in its stable machine-readable form.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	return json.Marshal(tableJSON{ID: t.ID, Title: t.Title, Columns: t.Columns, Rows: t.Rows, Notes: t.Notes})
+}
+
+// UnmarshalJSON decodes the stable form written by MarshalJSON.
+func (t *Table) UnmarshalJSON(data []byte) error {
+	var j tableJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	*t = Table{ID: j.ID, Title: j.Title, Columns: j.Columns, Rows: j.Rows, Notes: j.Notes}
+	return nil
+}
+
+// WriteCSV writes the table as RFC-4180 CSV: a header row of Columns
+// followed by the data rows. Notes are not emitted — CSV has no comment
+// syntax consumers agree on.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
 // job is one simulation to run.
 type job struct {
 	bench string
 	cfg   config.Config
 }
 
-type outcome struct {
-	key string
-	res gpu.Result
-	err error
-}
-
-// runAll executes every job in parallel and returns outcomes keyed by
-// (benchmark, label).
+// runAll executes every job on the sweep engine's worker pool and returns
+// results keyed by (benchmark, label). The figure runners are thereby thin
+// consumers of the same engine cmd/sweep drives: same parallelism, same
+// panic isolation, same deterministic behavior.
 func runAll(jobs map[string]job, workers int) (map[string]gpu.Result, error) {
 	keys := make([]string, 0, len(jobs))
 	for k := range jobs {
@@ -139,36 +177,23 @@ func runAll(jobs map[string]job, workers int) (map[string]gpu.Result, error) {
 	}
 	sort.Strings(keys)
 
-	in := make(chan string)
-	out := make(chan outcome)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for k := range in {
-				j := jobs[k]
-				res, err := gpu.RunBenchmark(j.cfg, j.bench)
-				out <- outcome{key: k, res: res, err: err}
-			}
-		}()
+	sj := make([]sweep.Job, 0, len(keys))
+	for _, k := range keys {
+		sj = append(sj, sweep.Job{Key: k, Benchmark: jobs[k].bench, Cfg: jobs[k].cfg})
 	}
-	go func() {
-		for _, k := range keys {
-			in <- k
-		}
-		close(in)
-		wg.Wait()
-		close(out)
-	}()
-
+	outs, err := sweep.Run(context.Background(), sj, nil, sweep.Options{Workers: workers})
+	if err != nil {
+		return nil, err
+	}
 	results := make(map[string]gpu.Result, len(jobs))
 	var firstErr error
-	for oc := range out {
-		if oc.err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("%s: %w", oc.key, oc.err)
+	for _, o := range outs {
+		if o.Err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("%s: %w", o.Job.Key, o.Err)
 		}
-		results[oc.key] = oc.res
+		if o.Res != nil {
+			results[o.Job.Key] = *o.Res
+		}
 	}
 	return results, firstErr
 }
@@ -212,7 +237,7 @@ func runSchemes(o Opts, base config.Config, schemes []core.Scheme) (map[string]m
 			jobs[b+"/"+label] = job{bench: b, cfg: cfg}
 		}
 	}
-	results, err := runAll(jobs, o.workers())
+	results, err := runAll(jobs, o.Parallel)
 	if err != nil {
 		return nil, err
 	}

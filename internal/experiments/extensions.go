@@ -95,7 +95,7 @@ func Scaling(o Opts) (*Table, error) {
 			jobs[b+"/base"] = job{bench: b, cfg: mk(core.Baseline)}
 			jobs[b+"/best"] = job{bench: b, cfg: mk(core.BestProposed)}
 		}
-		results, err := runAll(jobs, o.workers())
+		results, err := runAll(jobs, o.Parallel)
 		if err != nil {
 			return nil, err
 		}

@@ -25,7 +25,7 @@ func Fig2(o Opts) (*Table, error) {
 	for _, b := range o.benchmarks() {
 		jobs[b] = job{bench: b, cfg: base}
 	}
-	results, err := runAll(jobs, o.workers())
+	results, err := runAll(jobs, o.Parallel)
 	if err != nil {
 		return nil, err
 	}
@@ -60,7 +60,7 @@ func Fig3(o Opts) (*Table, error) {
 	for _, b := range o.benchmarks() {
 		jobs[b] = job{bench: b, cfg: base}
 	}
-	results, err := runAll(jobs, o.workers())
+	results, err := runAll(jobs, o.Parallel)
 	if err != nil {
 		return nil, err
 	}
@@ -164,23 +164,28 @@ func Fig4(o Opts) (*Table, error) {
 }
 
 // Table1 reproduces Table 1: aggregated vertical/horizontal hops per MC
-// placement — the paper's closed forms next to exact enumeration (Eq. 3).
-func Table1() (*Table, error) {
-	m := mesh.New(8, 8)
+// placement — the paper's closed forms next to exact enumeration (Eq. 3) —
+// on the paper's 8x8 mesh with 8 MCs.
+func Table1() (*Table, error) { return Table1For(8, 8, 8) }
+
+// Table1For is Table1 on an arbitrary mesh and MC count; the closed-form
+// columns use the paper's NxN formulas with N = numMCs.
+func Table1For(width, height, numMCs int) (*Table, error) {
+	m := mesh.New(width, height)
 	t := &Table{
 		ID:      "Table1",
-		Title:   "Average hops per MC placement (8x8 mesh, 8 MCs)",
+		Title:   fmt.Sprintf("Average hops per MC placement (%dx%d mesh, %d MCs)", width, height, numMCs),
 		Columns: []string{"Placement", "Hvert (form)", "Hhori (form)", "Hvert (exact)", "Hhori (exact)", "Avg hops (Eq.3)"},
 	}
 	for _, sch := range []config.Placement{
 		config.PlacementBottom, config.PlacementEdge, config.PlacementTopBottom, config.PlacementDiamond,
 	} {
-		pl, err := placement.New(sch, m, 8)
+		pl, err := placement.New(sch, m, numMCs)
 		if err != nil {
 			return nil, err
 		}
 		avg, vert, hori := pl.AverageHops()
-		fv, fh, exact := placement.Table1(sch, 8)
+		fv, fh, exact := placement.Table1(sch, numMCs)
 		mark := ""
 		if !exact {
 			mark = "~"
@@ -294,7 +299,7 @@ func NetworkDivision(o Opts) (*Table, error) {
 		jobs[b+"/dual2x"] = job{bench: b, cfg: dual2x}
 		jobs[b+"/dualEq"] = job{bench: b, cfg: dualEq}
 	}
-	results, err := runAll(jobs, o.workers())
+	results, err := runAll(jobs, o.Parallel)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+func sampleTable() *Table {
+	return &Table{
+		ID:      "fig7",
+		Title:   "IPC by placement",
+		Columns: []string{"bench", "bottom", "top-bottom"},
+		Rows: [][]string{
+			{"KMN", "1.23", "1.45"},
+			{"BFS, sorted", "0.90", "1.02"}, // embedded comma exercises CSV quoting
+		},
+		Notes: []string{"normalized to baseline"},
+	}
+}
+
+func TestTableJSONRoundTrip(t *testing.T) {
+	want := sampleTable()
+	data, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The wire field names are a public contract.
+	for _, key := range []string{`"id"`, `"title"`, `"columns"`, `"rows"`, `"notes"`} {
+		if !bytes.Contains(data, []byte(key)) {
+			t.Errorf("encoded table missing %s: %s", key, data)
+		}
+	}
+	var got Table
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&got, want) {
+		t.Errorf("round-trip mismatch:\n got %+v\nwant %+v", got, *want)
+	}
+}
+
+func TestTableWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTable().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "bench,bottom,top-bottom\n" +
+		"KMN,1.23,1.45\n" +
+		"\"BFS, sorted\",0.90,1.02\n"
+	if buf.String() != want {
+		t.Errorf("CSV output:\n got %q\nwant %q", buf.String(), want)
+	}
+}

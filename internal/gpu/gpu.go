@@ -5,6 +5,7 @@
 package gpu
 
 import (
+	"context"
 	"fmt"
 
 	"gpgpunoc/internal/config"
@@ -35,15 +36,11 @@ type Simulator struct {
 	cycle  int64
 }
 
-// Options tweak simulator construction.
-type Options struct {
-	// AllowUnsafe skips the protocol-deadlock safety check, for
-	// demonstrations that want to watch an unsafe configuration wedge.
-	AllowUnsafe bool
-}
-
 // New builds a simulator for cfg running the named workload profile.
-func New(cfg config.Config, prof workload.Profile, opts Options) (*Simulator, error) {
+// Validation — structural and protocol-deadlock safety — is centralized in
+// cfg.Validate; set cfg.AllowUnsafe to simulate a deliberately unsafe
+// design and watch it wedge.
+func New(cfg config.Config, prof workload.Profile) (*Simulator, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -63,11 +60,6 @@ func New(cfg config.Config, prof workload.Profile, opts Options) (*Simulator, er
 	asg, err := core.BuildAssigner(usage, cfg.NoC)
 	if err != nil {
 		return nil, err
-	}
-	if !opts.AllowUnsafe {
-		if err := usage.CheckPolicy(asg); err != nil {
-			return nil, err
-		}
 	}
 
 	var net noc.Interconnect
@@ -129,16 +121,35 @@ type Result struct {
 	Net *stats.Net
 }
 
+// Metrics condenses the run into the flat, JSON-encodable summary the
+// sweep engine records per job.
+func (r Result) Metrics() stats.Metrics { return stats.Collect(r.GPU, r.Net) }
+
 // Run simulates warmup then measurement and returns the results. The
 // deadlock watchdog aborts wedged runs (Deadlocked set, stats best-effort).
 func (s *Simulator) Run() Result {
+	res, _ := s.RunContext(context.Background())
+	return res
+}
+
+// RunContext is Run with cooperative cancellation: the simulation loop
+// checks ctx every 512 cycles and, when cancelled, returns the partial
+// result alongside ctx's error. This is what gives sweep jobs real
+// timeouts — a cancelled job stops simulating instead of leaking a
+// goroutine until it finishes on its own.
+func (s *Simulator) RunContext(ctx context.Context) (Result, error) {
 	const watchdogWindow = 2048
 
 	s.Net.EnableStats(false)
 	for i := 0; i < s.Cfg.WarmupCycles; i++ {
 		s.Step()
-		if i%512 == 511 && s.Net.Quiescent(watchdogWindow) {
-			return s.result(true, int64(i))
+		if i%512 == 511 {
+			if err := ctx.Err(); err != nil {
+				return s.result(false, int64(i)), err
+			}
+			if s.Net.Quiescent(watchdogWindow) {
+				return s.result(true, int64(i)), nil
+			}
 		}
 	}
 
@@ -146,8 +157,13 @@ func (s *Simulator) Run() Result {
 	s.Net.EnableStats(true)
 	for i := 0; i < s.Cfg.MeasureCycles; i++ {
 		s.Step()
-		if i%512 == 511 && s.Net.Quiescent(watchdogWindow) {
-			return s.result(true, int64(i))
+		if i%512 == 511 {
+			if err := ctx.Err(); err != nil {
+				return s.result(false, int64(i)), err
+			}
+			if s.Net.Quiescent(watchdogWindow) {
+				return s.result(true, int64(i)), nil
+			}
 		}
 	}
 
@@ -155,7 +171,7 @@ func (s *Simulator) Run() Result {
 	res.GPU = delta(before, s.gpu)
 	res.GPU.Cycles = int64(s.Cfg.MeasureCycles)
 	res.IPC = res.GPU.IPC()
-	return res
+	return res, nil
 }
 
 func (s *Simulator) result(deadlocked bool, cycles int64) Result {
@@ -190,13 +206,20 @@ func delta(before, after stats.GPU) stats.GPU {
 // build a simulator for cfg and the named benchmark, run it, return the
 // result.
 func RunBenchmark(cfg config.Config, benchmark string) (Result, error) {
+	return RunBenchmarkContext(context.Background(), cfg, benchmark)
+}
+
+// RunBenchmarkContext is RunBenchmark with cooperative cancellation; the
+// sweep engine uses it to enforce per-job timeouts. On cancellation the
+// partial result is returned together with ctx's error.
+func RunBenchmarkContext(ctx context.Context, cfg config.Config, benchmark string) (Result, error) {
 	prof, err := workload.Get(benchmark)
 	if err != nil {
 		return Result{}, err
 	}
-	sim, err := New(cfg, prof, Options{})
+	sim, err := New(cfg, prof)
 	if err != nil {
 		return Result{}, err
 	}
-	return sim.Run(), nil
+	return sim.RunContext(ctx)
 }

@@ -130,10 +130,11 @@ func TestUnsafeConfigRejected(t *testing.T) {
 	cfg := quickCfg()
 	cfg.Placement = config.PlacementDiamond
 	cfg.NoC.VCPolicy = config.VCMonopolized
-	if _, err := New(cfg, workload.MustGet("CP"), Options{}); err == nil {
+	if _, err := New(cfg, workload.MustGet("CP")); err == nil {
 		t.Fatal("diamond+XY+monopolized accepted without AllowUnsafe")
 	}
-	if _, err := New(cfg, workload.MustGet("CP"), Options{AllowUnsafe: true}); err != nil {
+	cfg.AllowUnsafe = true
+	if _, err := New(cfg, workload.MustGet("CP")); err != nil {
 		t.Fatalf("AllowUnsafe rejected: %v", err)
 	}
 }
@@ -147,7 +148,8 @@ func TestSharedVCsDeadlockEndToEnd(t *testing.T) {
 	cfg.NoC.VCPolicy = config.VCShared
 	cfg.Mem.MCRequestQueue = 4
 	cfg.WarmupCycles = 30000 // give the wedge time to form and be detected
-	sim, err := New(cfg, workload.MustGet("KMN"), Options{AllowUnsafe: true})
+	cfg.AllowUnsafe = true
+	sim, err := New(cfg, workload.MustGet("KMN"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,14 +218,14 @@ func TestDualNetworkRuns(t *testing.T) {
 func TestInvalidInputsRejected(t *testing.T) {
 	cfg := quickCfg()
 	cfg.NoC.Routing = "spiral"
-	if _, err := New(cfg, workload.MustGet("CP"), Options{}); err == nil {
+	if _, err := New(cfg, workload.MustGet("CP")); err == nil {
 		t.Error("bad routing accepted")
 	}
 	if _, err := RunBenchmark(quickCfg(), "NOT-A-BENCH"); err == nil {
 		t.Error("unknown benchmark accepted")
 	}
 	bad := workload.Profile{Name: "bad", FootprintBytes: 0, RunAhead: 1}
-	if _, err := New(quickCfg(), bad, Options{}); err == nil {
+	if _, err := New(quickCfg(), bad); err == nil {
 		t.Error("invalid profile accepted")
 	}
 }

@@ -1,0 +1,54 @@
+package stats
+
+import "gpgpunoc/internal/packet"
+
+// Metrics is the flat, JSON-encodable summary of one simulation: the
+// performance and network numbers every design-space record carries. The
+// sweep engine writes one Metrics per job to its JSONL sink; keeping the
+// type here (next to the counters it condenses) gives every consumer —
+// sweep records, CLIs, future services — the same definition of "the
+// result of a run".
+type Metrics struct {
+	IPC          float64 `json:"ipc"`
+	Cycles       int64   `json:"cycles"`
+	Instructions int64   `json:"instructions"`
+	MemRequests  int64   `json:"mem_requests"`
+
+	L1MissRate float64 `json:"l1_miss_rate"`
+	L2MissRate float64 `json:"l2_miss_rate"`
+
+	// ThroughputFPC is ejected flits per cycle across the whole network.
+	ThroughputFPC     float64 `json:"net_throughput_fpc"`
+	ReplyRequestRatio float64 `json:"reply_request_ratio"`
+
+	ReqNetLatencyMean float64 `json:"req_net_latency_mean"`
+	RepNetLatencyMean float64 `json:"rep_net_latency_mean"`
+	ReqNetLatencyP99  int64   `json:"req_net_latency_p99"`
+	RepNetLatencyP99  int64   `json:"rep_net_latency_p99"`
+}
+
+// Collect condenses the processor- and network-side counters of one run.
+func Collect(g GPU, n *Net) Metrics {
+	m := Metrics{
+		IPC:          g.IPC(),
+		Cycles:       g.Cycles,
+		Instructions: g.Instructions,
+		MemRequests:  g.MemRequests,
+		L1MissRate:   g.L1MissRate(),
+		L2MissRate:   g.L2MissRate(),
+	}
+	if n == nil {
+		return m
+	}
+	m.ThroughputFPC = n.Throughput()
+	req := float64(n.ClassFlits(packet.Request))
+	rep := float64(n.ClassFlits(packet.Reply))
+	if req > 0 {
+		m.ReplyRequestRatio = rep / req
+	}
+	m.ReqNetLatencyMean = n.NetLatency[packet.Request].Mean()
+	m.RepNetLatencyMean = n.NetLatency[packet.Reply].Mean()
+	m.ReqNetLatencyP99 = n.NetLatency[packet.Request].Percentile(0.99)
+	m.RepNetLatencyP99 = n.NetLatency[packet.Reply].Percentile(0.99)
+	return m
+}

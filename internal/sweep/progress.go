@@ -1,0 +1,75 @@
+package sweep
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Printer is a Progress callback that writes one line per finished job —
+// live, ordered, and safe for concurrent workers. It reports running
+// counts so a long sweep is observable from a terminal or a piped log.
+type Printer struct {
+	mu    sync.Mutex
+	w     io.Writer
+	total int
+	done  int
+	start time.Time
+}
+
+// NewPrinter returns a progress printer over total jobs.
+func NewPrinter(w io.Writer, total int) *Printer {
+	return &Printer{w: w, total: total, start: time.Now()}
+}
+
+// Handle consumes one engine event; pass it as Options.Progress.
+func (p *Printer) Handle(ev Event) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	switch ev.Type {
+	case EventStart:
+		return // start events would double the log volume for little value
+	case EventSkip:
+		p.done++
+		fmt.Fprintf(p.w, "[%*d/%d] skip %s (already in results)\n",
+			width(p.total), p.done, p.total, ev.Job.Key)
+	case EventDone:
+		p.done++
+		note := ""
+		if ev.Job.Cfg.AllowUnsafe {
+			note = " (unsafe)"
+		}
+		fmt.Fprintf(p.w, "[%*d/%d] ok   %s ipc=%.3f (%.1fs)%s\n",
+			width(p.total), p.done, p.total, ev.Job.Key, ev.IPC, ev.Elapsed.Seconds(), note)
+	case EventFail:
+		p.done++
+		fmt.Fprintf(p.w, "[%*d/%d] FAIL %s: %s\n",
+			width(p.total), p.done, p.total, ev.Job.Key, firstLine(ev.Err.Error()))
+	}
+}
+
+// Finish prints the closing summary line.
+func (p *Printer) Finish(s Summary) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fmt.Fprintf(p.w, "sweep finished in %.1fs: %s\n", time.Since(p.start).Seconds(), s)
+}
+
+func width(total int) int {
+	w := 1
+	for total >= 10 {
+		total /= 10
+		w++
+	}
+	return w
+}
+
+func firstLine(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			return s[:i]
+		}
+	}
+	return s
+}

@@ -1,0 +1,192 @@
+package sweep
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+
+	"gpgpunoc/internal/config"
+	"gpgpunoc/internal/stats"
+)
+
+// Status classifies how a job ended.
+type Status string
+
+const (
+	// StatusOK: the simulation completed (a detected deadlock is still OK
+	// — it is a legitimate experimental result, flagged on the record).
+	StatusOK Status = "ok"
+	// StatusFailed: the job errored, panicked or timed out.
+	StatusFailed Status = "failed"
+)
+
+// Record is one JSONL line of sweep output: the job's full configuration
+// fingerprint and dimensions, its status, and the measured metrics. It is
+// self-describing so a results file can be analyzed without the spec that
+// produced it.
+type Record struct {
+	Fingerprint string `json:"fingerprint"`
+	Key         string `json:"key"`
+
+	Benchmark  string           `json:"benchmark"`
+	Placement  config.Placement `json:"placement"`
+	Routing    config.Routing   `json:"routing"`
+	VCPolicy   config.VCPolicy  `json:"vcpolicy"`
+	VCsPerPort int              `json:"vcs"`
+	VCDepth    int              `json:"depth"`
+	Seed       uint64           `json:"seed"`
+	Warmup     int              `json:"warmup"`
+	Measure    int              `json:"measure"`
+
+	Status     Status         `json:"status"`
+	Error      string         `json:"error,omitempty"`
+	Deadlocked bool           `json:"deadlocked,omitempty"`
+	Metrics    *stats.Metrics `json:"metrics,omitempty"`
+}
+
+// Fingerprint identifies the job's exact (benchmark, configuration) pair:
+// a truncated SHA-256 over the canonical JSON encoding. Two jobs share a
+// fingerprint iff they would simulate the same thing, which is what makes
+// resume (skip fingerprints already on disk) sound.
+func (j Job) Fingerprint() string {
+	b, err := json.Marshal(struct {
+		Benchmark string
+		Cfg       config.Config
+	}{j.Benchmark, j.Cfg})
+	if err != nil {
+		// config.Config is a plain value struct; Marshal cannot fail.
+		panic(err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:8])
+}
+
+// newRecord fills the dimension fields shared by every outcome of j.
+func newRecord(j Job) Record {
+	return Record{
+		Fingerprint: j.Fingerprint(),
+		Key:         j.Key,
+		Benchmark:   j.Benchmark,
+		Placement:   j.Cfg.Placement,
+		Routing:     j.Cfg.NoC.Routing,
+		VCPolicy:    j.Cfg.NoC.VCPolicy,
+		VCsPerPort:  j.Cfg.NoC.VCsPerPort,
+		VCDepth:     j.Cfg.NoC.VCDepth,
+		Seed:        j.Cfg.Seed,
+		Warmup:      j.Cfg.WarmupCycles,
+		Measure:     j.Cfg.MeasureCycles,
+	}
+}
+
+// Sink receives one record per finished job, from multiple goroutines.
+type Sink interface {
+	Write(Record) error
+}
+
+// JSONL is a Sink writing one JSON object per line. Each record is flushed
+// as it is written, so the file is usable after a crash or cancellation.
+type JSONL struct {
+	mu sync.Mutex
+	w  *bufio.Writer
+	c  io.Closer
+}
+
+// NewJSONL wraps an io.Writer as a JSONL sink.
+func NewJSONL(w io.Writer) *JSONL {
+	return &JSONL{w: bufio.NewWriter(w)}
+}
+
+// OpenJSONL opens (appending, creating if needed) a JSONL results file.
+func OpenJSONL(path string) (*JSONL, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	s := NewJSONL(f)
+	s.c = f
+	return s, nil
+}
+
+// Write appends one record and flushes it.
+func (s *JSONL) Write(rec Record) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.w.Write(append(data, '\n')); err != nil {
+		return err
+	}
+	return s.w.Flush()
+}
+
+// Close flushes and closes the underlying file, when there is one.
+func (s *JSONL) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.w.Flush(); err != nil {
+		return err
+	}
+	if s.c != nil {
+		return s.c.Close()
+	}
+	return nil
+}
+
+// ReadRecords parses a JSONL results stream. Blank lines are ignored; a
+// malformed line fails with its line number.
+func ReadRecords(r io.Reader) ([]Record, error) {
+	var out []Record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal([]byte(text), &rec); err != nil {
+			return nil, fmt.Errorf("sweep: results line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// CompletedFingerprints returns the fingerprints of every StatusOK record
+// in the results file at path — the set a resumed sweep skips. Failed jobs
+// are deliberately not included: a re-run retries them. A missing file is
+// an empty set, so resume against a fresh output path just runs everything.
+func CompletedFingerprints(path string) (map[string]bool, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return map[string]bool{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	recs, err := ReadRecords(f)
+	if err != nil {
+		return nil, err
+	}
+	done := make(map[string]bool, len(recs))
+	for _, r := range recs {
+		if r.Status == StatusOK {
+			done[r.Fingerprint] = true
+		}
+	}
+	return done, nil
+}

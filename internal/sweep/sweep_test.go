@@ -1,0 +1,450 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gpgpunoc/internal/config"
+	"gpgpunoc/internal/gpu"
+)
+
+// okRun is a RunFunc returning an empty successful result instantly.
+func okRun(ctx context.Context, j Job) (gpu.Result, error) {
+	return gpu.Result{Benchmark: j.Benchmark, IPC: 1}, nil
+}
+
+func smallSpec() Spec {
+	return Spec{
+		Benchmarks:    []string{"KMN", "BFS"},
+		Routings:      []config.Routing{config.RoutingXY, config.RoutingYX},
+		VCPolicies:    []config.VCPolicy{config.VCSplit, config.VCMonopolized},
+		Seeds:         []uint64{1, 2},
+		WarmupCycles:  200,
+		MeasureCycles: 800,
+	}
+}
+
+func TestExpandGrid(t *testing.T) {
+	jobs, skips, err := smallSpec().Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(skips) != 0 {
+		t.Fatalf("unexpected skips: %v", skips)
+	}
+	if len(jobs) != 16 {
+		t.Fatalf("2 benches x 2 routings x 2 policies x 2 seeds = 16 jobs, got %d", len(jobs))
+	}
+	seen := map[string]bool{}
+	for _, j := range jobs {
+		if seen[j.Key] {
+			t.Fatalf("duplicate key %s", j.Key)
+		}
+		seen[j.Key] = true
+		if j.Cfg.WarmupCycles != 200 || j.Cfg.MeasureCycles != 800 {
+			t.Fatalf("cycle overrides not applied: %+v", j.Cfg)
+		}
+	}
+	// Nested-loop order is part of the contract (resume depends on a
+	// stable grid): expanding twice gives the identical job list.
+	again, _, err := smallSpec().Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range jobs {
+		if jobs[i].Key != again[i].Key {
+			t.Fatalf("expansion order unstable at %d: %s vs %s", i, jobs[i].Key, again[i].Key)
+		}
+	}
+}
+
+func TestExpandEmptyDimsInheritBase(t *testing.T) {
+	base := config.Default()
+	base.NoC.VCsPerPort = 6
+	s := Spec{Base: &base, Benchmarks: []string{"KMN"}}
+	jobs, _, err := s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 {
+		t.Fatalf("want exactly the base design point, got %d jobs", len(jobs))
+	}
+	if jobs[0].Cfg.NoC.VCsPerPort != 6 {
+		t.Errorf("base config not inherited: vcs = %d", jobs[0].Cfg.NoC.VCsPerPort)
+	}
+}
+
+func TestExpandFilters(t *testing.T) {
+	s := smallSpec()
+	s.Include = []Filter{{Routings: []config.Routing{config.RoutingYX}}}
+	s.Exclude = []Filter{{Benchmarks: []string{"BFS"}, VCPolicies: []config.VCPolicy{config.VCMonopolized}}}
+	jobs, _, err := s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Include keeps 8 YX jobs; exclude drops BFS+monopolized (2 seeds).
+	if len(jobs) != 6 {
+		t.Fatalf("want 6 jobs after filters, got %d", len(jobs))
+	}
+	for _, j := range jobs {
+		if j.Cfg.NoC.Routing != config.RoutingYX {
+			t.Errorf("include filter leaked %s", j.Key)
+		}
+		if j.Benchmark == "BFS" && j.Cfg.NoC.VCPolicy == config.VCMonopolized {
+			t.Errorf("exclude filter leaked %s", j.Key)
+		}
+	}
+}
+
+func TestExpandSkipInvalid(t *testing.T) {
+	s := Spec{
+		Benchmarks: []string{"KMN"},
+		Placements: []config.Placement{config.PlacementBottom, config.PlacementDiamond},
+		VCPolicies: []config.VCPolicy{config.VCSplit, config.VCMonopolized},
+	}
+	if _, _, err := s.Expand(); err == nil {
+		t.Fatal("diamond+XY+monopolized must fail expansion without SkipInvalid")
+	}
+	s.SkipInvalid = true
+	jobs, skips, err := s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(skips) == 0 {
+		t.Fatal("unsafe grid point not reported as a skip")
+	}
+	for _, j := range jobs {
+		if j.Cfg.Placement == config.PlacementDiamond && j.Cfg.NoC.VCPolicy == config.VCMonopolized {
+			t.Errorf("unsafe job survived expansion: %s", j.Key)
+		}
+	}
+}
+
+func TestExpandRejectsUnknownBenchmark(t *testing.T) {
+	s := Spec{Benchmarks: []string{"NOT-A-BENCH"}}
+	if _, _, err := s.Expand(); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestParseSpecRejectsUnknownFields(t *testing.T) {
+	if _, err := ParseSpec([]byte(`{"benchmerks": ["KMN"]}`)); err == nil {
+		t.Fatal("typo'd field accepted")
+	}
+}
+
+func TestFingerprint(t *testing.T) {
+	jobs, _, err := smallSpec().Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := jobs[0], jobs[1]
+	if a.Fingerprint() != a.Fingerprint() {
+		t.Error("fingerprint not stable")
+	}
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Error("distinct jobs share a fingerprint")
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	jobs, _, err := smallSpec().Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	sink := NewJSONL(&buf)
+	var want []Record
+	for i, j := range jobs[:3] {
+		rec := newRecord(j)
+		rec.Status = StatusOK
+		if i == 1 {
+			rec.Status = StatusFailed
+			rec.Error = "boom"
+		}
+		want = append(want, rec)
+		if err := sink.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRecords(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("round-trip lost records: %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("record %d mismatch:\n got %+v\nwant %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRunPanicIsolation(t *testing.T) {
+	jobs, _, err := smallSpec().Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := jobs[5].Key
+	run := func(ctx context.Context, j Job) (gpu.Result, error) {
+		if j.Key == victim {
+			panic("injected fault")
+		}
+		return okRun(ctx, j)
+	}
+	var buf bytes.Buffer
+	sink := NewJSONL(&buf)
+	outs, err := Run(context.Background(), jobs, sink, Options{Workers: 4, Run: run})
+	if err != nil {
+		t.Fatalf("a panicking job crashed the sweep: %v", err)
+	}
+	s := Summarize(outs)
+	if s.OK != len(jobs)-1 || s.Failed != 1 {
+		t.Fatalf("want %d ok + 1 failed, got %v", len(jobs)-1, s)
+	}
+	for _, o := range outs {
+		if o.Job.Key == victim {
+			if o.Err == nil || !strings.Contains(o.Record.Error, "injected fault") {
+				t.Errorf("panic not captured in record: %+v", o.Record)
+			}
+		}
+	}
+	recs, err := ReadRecords(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(jobs) {
+		t.Errorf("sink got %d records for %d jobs", len(recs), len(jobs))
+	}
+}
+
+func TestRunCancellationMidSweep(t *testing.T) {
+	jobs, _, err := smallSpec().Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var calls atomic.Int32
+	run := func(ctx context.Context, j Job) (gpu.Result, error) {
+		if calls.Add(1) == 3 {
+			cancel() // sweep shuts down while this job is in flight
+			<-ctx.Done()
+			return gpu.Result{}, ctx.Err()
+		}
+		return okRun(ctx, j)
+	}
+	outs, err := Run(ctx, jobs, nil, Options{Workers: 1, Run: run})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if len(outs) >= len(jobs) {
+		t.Fatalf("cancellation did not stop dispatch: %d outcomes", len(outs))
+	}
+	// The in-flight job aborted by shutdown must not be recorded as a
+	// failure — a resume should re-run it.
+	for _, o := range outs {
+		if o.Err != nil {
+			t.Errorf("shutdown recorded as job failure: %s: %v", o.Job.Key, o.Err)
+		}
+	}
+}
+
+func TestRunPerJobTimeout(t *testing.T) {
+	jobs, _, err := smallSpec().Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs = jobs[:2]
+	run := func(ctx context.Context, j Job) (gpu.Result, error) {
+		if j.Key == jobs[0].Key {
+			<-ctx.Done() // hung job: only the per-job timeout frees it
+			return gpu.Result{}, ctx.Err()
+		}
+		return okRun(ctx, j)
+	}
+	outs, err := Run(context.Background(), jobs, nil,
+		Options{Workers: 2, Timeout: 20 * time.Millisecond, Run: run})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Summarize(outs)
+	if s.OK != 1 || s.Failed != 1 {
+		t.Fatalf("want timed-out job failed and sibling ok, got %v", s)
+	}
+}
+
+func TestRunResumeSkipsCompleted(t *testing.T) {
+	jobs, _, err := smallSpec().Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "out.jsonl")
+	failing := jobs[2].Key
+
+	// Pass 1: everything succeeds except one job.
+	sink, err := OpenJSONL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run1 := func(ctx context.Context, j Job) (gpu.Result, error) {
+		if j.Key == failing {
+			return gpu.Result{}, errors.New("transient")
+		}
+		return okRun(ctx, j)
+	}
+	if _, err := Run(context.Background(), jobs, sink, Options{Workers: 4, Run: run1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Pass 2: resume must re-run only the failed job.
+	done, err := CompletedFingerprints(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != len(jobs)-1 {
+		t.Fatalf("completed set = %d, want %d (failed job excluded)", len(done), len(jobs)-1)
+	}
+	sink2, err := OpenJSONL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reran atomic.Int32
+	run2 := func(ctx context.Context, j Job) (gpu.Result, error) {
+		reran.Add(1)
+		if j.Key != failing {
+			t.Errorf("resume re-ran completed job %s", j.Key)
+		}
+		return okRun(ctx, j)
+	}
+	outs, err := Run(context.Background(), jobs, sink2, Options{Workers: 4, Done: done, Run: run2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sink2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := reran.Load(); got != 1 {
+		t.Fatalf("resume executed %d jobs, want 1", got)
+	}
+	s := Summarize(outs)
+	if s.Skipped != len(jobs)-1 || s.OK != 1 {
+		t.Fatalf("resume summary wrong: %v", s)
+	}
+	// After the resumed pass every job is complete.
+	done, err = CompletedFingerprints(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != len(jobs) {
+		t.Fatalf("after resume completed set = %d, want %d", len(done), len(jobs))
+	}
+}
+
+func TestCompletedFingerprintsMissingFile(t *testing.T) {
+	done, err := CompletedFingerprints(filepath.Join(t.TempDir(), "nope.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != 0 {
+		t.Fatalf("missing file yields %d fingerprints", len(done))
+	}
+}
+
+func TestRunSinkErrorAbortsSweep(t *testing.T) {
+	jobs, _, err := smallSpec().Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, err := Run(context.Background(), jobs, failSink{}, Options{Workers: 2, Run: okRun})
+	if err == nil || !strings.Contains(err.Error(), "sink") {
+		t.Fatalf("sink failure not surfaced: %v", err)
+	}
+	if len(outs) >= len(jobs) {
+		t.Errorf("sweep kept running after the sink died: %d outcomes", len(outs))
+	}
+}
+
+type failSink struct{}
+
+func (failSink) Write(Record) error { return fmt.Errorf("disk full") }
+
+// TestRunDeterministic: the same spec run twice through the real simulator
+// produces byte-identical JSONL, modulo completion order.
+func TestRunDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full simulations")
+	}
+	s := Spec{
+		Benchmarks:    []string{"KMN"},
+		Routings:      []config.Routing{config.RoutingXY, config.RoutingYX},
+		Seeds:         []uint64{1, 2},
+		WarmupCycles:  200,
+		MeasureCycles: 800,
+	}
+	jobs, _, err := s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := func() []string {
+		var buf bytes.Buffer
+		if _, err := Run(context.Background(), jobs, NewJSONL(&buf), Options{Workers: 4}); err != nil {
+			t.Fatal(err)
+		}
+		ls := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+		sort.Strings(ls)
+		return ls
+	}
+	a, b := lines(), lines()
+	if len(a) != len(jobs) {
+		t.Fatalf("%d lines for %d jobs", len(a), len(jobs))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("run diverged:\n %s\n %s", a[i], b[i])
+		}
+	}
+}
+
+// TestSpecFileExamples keeps the committed example specs loadable and,
+// for the main example, at the grid size the README promises.
+func TestSpecFileExamples(t *testing.T) {
+	for _, tc := range []struct {
+		path    string
+		minJobs int
+	}{
+		{"../../examples/sweepspec.json", 24},
+		{"../../examples/sweepspec_smoke.json", 4},
+	} {
+		if _, err := os.Stat(tc.path); err != nil {
+			t.Fatalf("example spec missing: %v", err)
+		}
+		spec, err := ReadSpec(tc.path)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.path, err)
+		}
+		jobs, _, err := spec.Expand()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.path, err)
+		}
+		if len(jobs) < tc.minJobs {
+			t.Errorf("%s expands to %d jobs, want >= %d", tc.path, len(jobs), tc.minJobs)
+		}
+	}
+}
