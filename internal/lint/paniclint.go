@@ -1,0 +1,105 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Paniclint polices panics in the simulation's internal packages. A panic is
+// acceptable only as an unreachable-state guard or a constructor shortcut,
+// and both must be recognizable:
+//
+//   - the enclosing function is a Must* constructor (panicking on a
+//     validated error is its documented contract), or
+//   - the panic message is a string that starts with a package prefix
+//     ("noc: ...", "mesh: ..."), directly or as the format of
+//     fmt.Sprintf/Errorf or the head of a string concatenation.
+//
+// Anything else — panic(err), panic("oops") — is a bare panic: when it fires
+// inside a sweep worker the recovered stack is all the operator gets, so the
+// message must say which subsystem gave up and why.
+const paniclintName = "paniclint"
+
+var Paniclint = &Analyzer{
+	Name: paniclintName,
+	Doc:  "internal panics must carry a package-prefixed message or live in Must* constructors",
+	Run:  runPaniclint,
+}
+
+// prefixedMsg matches the repository's panic message convention: a lowercase
+// package-ish identifier, a colon, a space, then the explanation.
+var prefixedMsg = regexp.MustCompile(`^[a-z][a-zA-Z0-9_/]*: \S`)
+
+func runPaniclint(ctx *Context) []Finding {
+	pkg := ctx.Pkg
+	// The discipline applies to the simulation substrate: module-internal
+	// packages. Command-line mains may rely on their own error reporting.
+	if !strings.HasPrefix(pkg.Path, ctx.ModulePath+"/internal/") {
+		return nil
+	}
+	var out []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); !isBuiltin {
+				return true
+			}
+			if fn := enclosingFuncName(file, call.Pos()); strings.HasPrefix(fn, "Must") {
+				return true
+			}
+			if len(call.Args) == 1 && prefixedPanicArg(pkg, call.Args[0]) {
+				return true
+			}
+			out = append(out, Finding{
+				Analyzer: paniclintName,
+				Pos:      pkg.Fset.Position(call.Pos()),
+				Message:  fmt.Sprintf("bare panic in %s: prefix the message with the package name (\"%s: ...\") or move it into a Must* constructor", pkg.Types.Name(), pkg.Types.Name()),
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// prefixedPanicArg reports whether the panic argument is statically known to
+// carry a package-prefixed message.
+func prefixedPanicArg(pkg *Package, arg ast.Expr) bool {
+	switch e := arg.(type) {
+	case *ast.BasicLit:
+		if e.Kind.String() != "STRING" {
+			return false
+		}
+		s, err := strconv.Unquote(e.Value)
+		return err == nil && prefixedMsg.MatchString(s)
+	case *ast.BinaryExpr:
+		// "pkg: context " + detail — the leftmost operand decides.
+		return prefixedPanicArg(pkg, e.X)
+	case *ast.CallExpr:
+		// fmt.Sprintf("pkg: ...", ...), fmt.Errorf("pkg: ...", ...),
+		// fmt.Sprint("pkg: ...", ...): the first argument is the message head.
+		sel, ok := e.Fun.(*ast.SelectorExpr)
+		if !ok || len(e.Args) == 0 {
+			return false
+		}
+		obj := pkg.Info.Uses[sel.Sel]
+		if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "fmt" {
+			return false
+		}
+		switch obj.Name() {
+		case "Sprintf", "Errorf", "Sprint":
+			return prefixedPanicArg(pkg, e.Args[0])
+		}
+	}
+	return false
+}

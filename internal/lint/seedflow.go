@@ -1,0 +1,131 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Seedflow enforces the provenance discipline of random streams: every
+// rng.Stream must originate from rng.New or Stream.Split with an explicit
+// seed. The zero value is a valid-but-implicitly-seeded stream, so
+// constructing one via a composite literal, new(), or a value-typed
+// declaration silently decouples results from the configured seed. A stream
+// captured by a goroutine closure is flagged too: concurrent draws interleave
+// nondeterministically, which breaks replayability even with a fixed seed.
+const seedflowName = "seedflow"
+
+var Seedflow = &Analyzer{
+	Name: seedflowName,
+	Doc:  "rng.Stream values must come from rng.New/Split and stay goroutine-local",
+	Run:  runSeedflow,
+}
+
+// rngPkgSuffix locates the stream package inside the module.
+const rngPkgSuffix = "/internal/rng"
+
+func runSeedflow(ctx *Context) []Finding {
+	pkg := ctx.Pkg
+	rngPath := ctx.ModulePath + rngPkgSuffix
+	if pkg.Path == rngPath {
+		return nil // the stream implementation itself is exempt
+	}
+	var out []Finding
+	report := func(pos token.Pos, format string, args ...any) {
+		out = append(out, Finding{
+			Analyzer: seedflowName,
+			Pos:      pkg.Fset.Position(pos),
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+
+	isStreamNamed := func(t types.Type) bool {
+		named, ok := t.(*types.Named)
+		if !ok {
+			return false
+		}
+		obj := named.Obj()
+		return obj.Name() == "Stream" && obj.Pkg() != nil && obj.Pkg().Path() == rngPath
+	}
+	// isStreamish accepts rng.Stream and *rng.Stream.
+	isStreamish := func(t types.Type) bool {
+		if t == nil {
+			return false
+		}
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		return isStreamNamed(t)
+	}
+
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				if isStreamish(pkg.Info.TypeOf(n)) {
+					report(n.Pos(), "rng.Stream composite literal bypasses seeding: construct streams with rng.New(seed) or parent.Split()")
+				}
+			case *ast.CallExpr:
+				if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "new" && len(n.Args) == 1 {
+					if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); isBuiltin && isStreamish(pkg.Info.TypeOf(n.Args[0])) {
+						report(n.Pos(), "new(rng.Stream) yields a zero-seeded stream: construct streams with rng.New(seed) or parent.Split()")
+					}
+				}
+			case *ast.Ident:
+				// Value-typed declarations (vars, fields, params, results)
+				// start or propagate as zero-value/copied streams; require
+				// *rng.Stream everywhere outside the rng package.
+				obj := pkg.Info.Defs[n]
+				if v, ok := obj.(*types.Var); ok && isStreamNamed(v.Type()) {
+					report(n.Pos(), "%q declared as a value rng.Stream: zero values are implicitly seeded and copies fork the sequence; declare *rng.Stream initialized via rng.New/Split", n.Name)
+				}
+			case *ast.GoStmt:
+				if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+					out = append(out, goroutineCaptures(pkg, lit, isStreamish)...)
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// goroutineCaptures flags stream-typed variables referenced inside a
+// goroutine's function literal but declared outside it — a stream shared
+// across goroutines makes draw interleaving schedule-dependent.
+func goroutineCaptures(pkg *Package, lit *ast.FuncLit, isStreamish func(types.Type) bool) []Finding {
+	var out []Finding
+	seen := map[types.Object]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pkg.Info.Uses[id]
+		v, ok := obj.(*types.Var)
+		if !ok || seen[v] || !isStreamish(v.Type()) {
+			return true
+		}
+		// Declared inside the literal (including its parameters) is fine —
+		// the goroutine owns the stream.
+		if lit.Pos() <= v.Pos() && v.Pos() < lit.End() {
+			return true
+		}
+		seen[v] = true
+		kind := "variable"
+		if v.IsField() {
+			kind = "field"
+		}
+		name := strings.TrimPrefix(v.Name(), "&")
+		out = append(out, Finding{
+			Analyzer: seedflowName,
+			Pos:      pkg.Fset.Position(id.Pos()),
+			Message: fmt.Sprintf("goroutine closure captures rng stream %s %q: pass a Split() child into the goroutine so draws stay deterministic under scheduling",
+				kind, name),
+		})
+		return true
+	})
+	return out
+}

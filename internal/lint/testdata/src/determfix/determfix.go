@@ -1,0 +1,71 @@
+// Package determfix is a lint fixture exercising the determinism analyzer.
+// Marker comments of the form `want "substring"` mark expected findings.
+package determfix
+
+import (
+	"fmt"
+	_ "math/rand" // want "import of math/rand is nondeterministic"
+	"time"
+)
+
+// Clock aliases must not hide the wall clock from the analyzer.
+import clk "time"
+
+// WallClock reads the wall clock several ways.
+func WallClock() time.Duration {
+	start := time.Now()         // want "time.Now reads the wall clock"
+	_ = clk.Now()               // want "time.Now reads the wall clock"
+	clk.Sleep(time.Millisecond) // want "time.Sleep reads the wall clock"
+	return time.Since(start)    // want "time.Since reads the wall clock"
+}
+
+// NotTheRealClock must not be flagged: same method names, different package.
+type fakeClock struct{}
+
+func (fakeClock) Now() int   { return 0 }
+func (fakeClock) Since() int { return 0 }
+
+func UsesFakeClock() int {
+	var c fakeClock
+	return c.Now() + c.Since()
+}
+
+// MapIteration must be flagged; slice iteration must not.
+func MapIteration(m map[string]int, s []int) int {
+	total := 0
+	for _, v := range m { // want "map iteration order is nondeterministic"
+		total += v
+	}
+	for range m { // want "map iteration order is nondeterministic"
+		total++
+	}
+	for _, v := range s {
+		total += v
+	}
+	return total
+}
+
+// Suppressed is covered by a justified directive and must not be reported.
+func Suppressed(m map[string]bool) int {
+	n := 0
+	//noclint:determinism order-insensitive count
+	for range m {
+		n++
+	}
+	return n
+}
+
+// BadDirective has a directive with no justification, which is a finding in
+// its own right (reported by the framework, not the analyzer).
+func BadDirective(m map[string]bool) int {
+	n := 0
+	//noclint:determinism
+	for range m { // want "map iteration order is nondeterministic"
+		n++
+	}
+	return n
+}
+
+// TimeTypesOK: referring to time types and constants is fine — only the
+// wall-clock reads are banned.
+func TimeTypesOK(d time.Duration) string { return fmt.Sprint(d) }
