@@ -61,7 +61,7 @@ func (j Job) Fingerprint() string {
 	}{j.Benchmark, j.Cfg})
 	if err != nil {
 		// config.Config is a plain value struct; Marshal cannot fail.
-		panic(err)
+		panic("sweep: fingerprint encoding: " + err.Error())
 	}
 	sum := sha256.Sum256(b)
 	return hex.EncodeToString(sum[:8])
