@@ -131,7 +131,7 @@ var byName = func() map[string]Profile {
 	m := make(map[string]Profile, len(profiles))
 	for _, p := range profiles {
 		if err := p.Validate(); err != nil {
-			panic(err)
+			panic("workload: invalid builtin profile " + p.Name + ": " + err.Error())
 		}
 		m[p.Name] = p
 	}
