@@ -174,13 +174,13 @@ func All() []Profile {
 
 // Suites returns the distinct suite names, sorted.
 func Suites() []string {
-	set := map[string]bool{}
+	seen := map[string]bool{}
+	var out []string
 	for _, p := range profiles {
-		set[p.Suite] = true
-	}
-	out := make([]string, 0, len(set))
-	for s := range set {
-		out = append(out, s)
+		if !seen[p.Suite] {
+			seen[p.Suite] = true
+			out = append(out, p.Suite)
+		}
 	}
 	sort.Strings(out)
 	return out
