@@ -108,8 +108,10 @@ func (c *Collector) Summarize() Summary {
 			s.MaxLat[l.Type] = l.Cycles()
 		}
 	}
-	for t, n := range s.Delivered {
-		s.MeanLat[t] = float64(sums[t]) / float64(n)
+	for t := packet.Type(0); t < packet.NumTypes; t++ {
+		if n := s.Delivered[t]; n > 0 {
+			s.MeanLat[t] = float64(sums[t]) / float64(n)
+		}
 	}
 	return s
 }
