@@ -167,14 +167,18 @@ func (c *Collector) Path(id uint64) []mesh.Link {
 // HopHistogram counts head-flit hops per delivered packet.
 func (c *Collector) HopHistogram() map[int]int {
 	hops := map[uint64]int{}
+	var order []uint64
 	for _, e := range c.Events {
 		if e.Kind == Hop && e.Seq == 0 {
+			if hops[e.Packet] == 0 {
+				order = append(order, e.Packet)
+			}
 			hops[e.Packet]++
 		}
 	}
 	hist := map[int]int{}
-	for _, h := range hops {
-		hist[h]++
+	for _, id := range order {
+		hist[hops[id]]++
 	}
 	return hist
 }
