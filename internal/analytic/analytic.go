@@ -62,11 +62,11 @@ func (t TrafficMix) FlitShare() map[packet.Type]float64 {
 		packet.WriteReply:   w * t.ShortLen,
 	}
 	total := 0.0
-	for _, s := range shares {
-		total += s
+	for t := packet.Type(0); t < packet.NumTypes; t++ {
+		total += shares[t]
 	}
-	for k := range shares {
-		shares[k] /= total
+	for t := packet.Type(0); t < packet.NumTypes; t++ {
+		shares[t] /= total
 	}
 	return shares
 }
