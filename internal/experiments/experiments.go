@@ -15,7 +15,6 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"sort"
 	"strings"
 
 	"gpgpunoc/internal/config"
@@ -160,26 +159,22 @@ func (t *Table) WriteCSV(w io.Writer) error {
 	return cw.Error()
 }
 
-// job is one simulation to run.
+// job is one simulation to run, identified by its (benchmark, label) key.
 type job struct {
+	key   string
 	bench string
 	cfg   config.Config
 }
 
 // runAll executes every job on the sweep engine's worker pool and returns
-// results keyed by (benchmark, label). The figure runners are thereby thin
-// consumers of the same engine cmd/sweep drives: same parallelism, same
-// panic isolation, same deterministic behavior.
-func runAll(jobs map[string]job, workers int) (map[string]gpu.Result, error) {
-	keys := make([]string, 0, len(jobs))
-	for k := range jobs {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-
-	sj := make([]sweep.Job, 0, len(keys))
-	for _, k := range keys {
-		sj = append(sj, sweep.Job{Key: k, Benchmark: jobs[k].bench, Cfg: jobs[k].cfg})
+// results keyed by job key. Jobs run and report in slice order, so callers
+// control ordering explicitly instead of relying on map traversal. The figure
+// runners are thereby thin consumers of the same engine cmd/sweep drives:
+// same parallelism, same panic isolation, same deterministic behavior.
+func runAll(jobs []job, workers int) (map[string]gpu.Result, error) {
+	sj := make([]sweep.Job, 0, len(jobs))
+	for _, j := range jobs {
+		sj = append(sj, sweep.Job{Key: j.key, Benchmark: j.bench, Cfg: j.cfg})
 	}
 	outs, err := sweep.Run(context.Background(), sj, nil, sweep.Options{Workers: workers})
 	if err != nil {
@@ -218,11 +213,18 @@ func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
 func f3(v float64) string  { return fmt.Sprintf("%.3f", v) }
 func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
 
-// schemeConfigs builds one labelled config per scheme over a base.
-func schemeConfigs(base config.Config, schemes []core.Scheme) map[string]config.Config {
-	out := make(map[string]config.Config, len(schemes))
-	for _, s := range schemes {
-		out[s.Label] = s.Apply(base)
+// labeledConfig pairs a scheme label with the configuration it produces.
+type labeledConfig struct {
+	label string
+	cfg   config.Config
+}
+
+// schemeConfigs builds one labelled config per scheme over a base, in scheme
+// order.
+func schemeConfigs(base config.Config, schemes []core.Scheme) []labeledConfig {
+	out := make([]labeledConfig, len(schemes))
+	for i, s := range schemes {
+		out[i] = labeledConfig{label: s.Label, cfg: s.Apply(base)}
 	}
 	return out
 }
@@ -231,10 +233,10 @@ func schemeConfigs(base config.Config, schemes []core.Scheme) map[string]config.
 // ipc[benchmark][label].
 func runSchemes(o Opts, base config.Config, schemes []core.Scheme) (map[string]map[string]float64, error) {
 	cfgs := schemeConfigs(o.apply(base), schemes)
-	jobs := map[string]job{}
+	var jobs []job
 	for _, b := range o.benchmarks() {
-		for label, cfg := range cfgs {
-			jobs[b+"/"+label] = job{bench: b, cfg: cfg}
+		for _, lc := range cfgs {
+			jobs = append(jobs, job{key: b + "/" + lc.label, bench: b, cfg: lc.cfg})
 		}
 	}
 	results, err := runAll(jobs, o.Parallel)
@@ -244,8 +246,8 @@ func runSchemes(o Opts, base config.Config, schemes []core.Scheme) (map[string]m
 	ipc := map[string]map[string]float64{}
 	for _, b := range o.benchmarks() {
 		ipc[b] = map[string]float64{}
-		for label := range cfgs {
-			ipc[b][label] = results[b+"/"+label].IPC
+		for _, lc := range cfgs {
+			ipc[b][lc.label] = results[b+"/"+lc.label].IPC
 		}
 	}
 	return ipc, nil

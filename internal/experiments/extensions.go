@@ -90,10 +90,11 @@ func Scaling(o Opts) (*Table, error) {
 			cfg.Core.NumSMs = n*n - n
 			return s.Apply(cfg)
 		}
-		jobs := map[string]job{}
+		var jobs []job
 		for _, b := range benchmarks {
-			jobs[b+"/base"] = job{bench: b, cfg: mk(core.Baseline)}
-			jobs[b+"/best"] = job{bench: b, cfg: mk(core.BestProposed)}
+			jobs = append(jobs,
+				job{key: b + "/base", bench: b, cfg: mk(core.Baseline)},
+				job{key: b + "/best", bench: b, cfg: mk(core.BestProposed)})
 		}
 		results, err := runAll(jobs, o.Parallel)
 		if err != nil {

@@ -21,9 +21,9 @@ import (
 // paper reports as ~2 with RAY inverted.
 func Fig2(o Opts) (*Table, error) {
 	base := o.apply(config.Default())
-	jobs := map[string]job{}
+	var jobs []job
 	for _, b := range o.benchmarks() {
-		jobs[b] = job{bench: b, cfg: base}
+		jobs = append(jobs, job{key: b, bench: b, cfg: base})
 	}
 	results, err := runAll(jobs, o.Parallel)
 	if err != nil {
@@ -56,9 +56,9 @@ func Fig2(o Opts) (*Table, error) {
 // benchmark (the paper reports ~63% read replies on average).
 func Fig3(o Opts) (*Table, error) {
 	base := o.apply(config.Default())
-	jobs := map[string]job{}
+	var jobs []job
 	for _, b := range o.benchmarks() {
-		jobs[b] = job{bench: b, cfg: base}
+		jobs = append(jobs, job{key: b, bench: b, cfg: base})
 	}
 	results, err := runAll(jobs, o.Parallel)
 	if err != nil {
@@ -293,11 +293,12 @@ func NetworkDivision(o Opts) (*Table, error) {
 	dualEq := dual2x
 	dualEq.NoC.SubnetHalfWidth = true
 
-	jobs := map[string]job{}
+	var jobs []job
 	for _, b := range o.benchmarks() {
-		jobs[b+"/single"] = job{bench: b, cfg: single}
-		jobs[b+"/dual2x"] = job{bench: b, cfg: dual2x}
-		jobs[b+"/dualEq"] = job{bench: b, cfg: dualEq}
+		jobs = append(jobs,
+			job{key: b + "/single", bench: b, cfg: single},
+			job{key: b + "/dual2x", bench: b, cfg: dual2x},
+			job{key: b + "/dualEq", bench: b, cfg: dualEq})
 	}
 	results, err := runAll(jobs, o.Parallel)
 	if err != nil {
