@@ -1,11 +1,16 @@
 GO ?= go
 SMOKE_OUT := $(shell mktemp -u /tmp/sweep-smoke.XXXXXX.jsonl)
 
-.PHONY: check vet build test race smoke clean
+.PHONY: check lint vet build test race smoke clean
 
 # check is the full pre-merge gate: static analysis, build, race-enabled
 # tests, and an end-to-end smoke sweep through cmd/sweep.
-check: vet build race smoke
+check: lint build race smoke
+
+# lint is all static analysis: go vet plus the repository's own analyzers
+# (determinism, seedflow, paniclint — see internal/lint).
+lint: vet
+	$(GO) run ./cmd/noclint
 
 vet:
 	$(GO) vet ./...

@@ -196,21 +196,32 @@ func TestExpandPatterns(t *testing.T) {
 	}
 }
 
-// TestAnalyzersRunOverOwnModule is the smoke test that the loader can
-// typecheck every production package of this repository.
-func TestAnalyzersRunOverOwnModule(t *testing.T) {
+// TestRepoIsClean runs the full suite over the repository's own production
+// packages with the canonical configuration and requires zero findings: the
+// tree must stay lint-clean, and the loader must typecheck every package.
+func TestRepoIsClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("typechecking the full module is slow")
 	}
 	l := newTestLoader(t)
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
 	paths, err := l.Expand("./internal/...", "./cmd/...")
 	if err != nil {
 		t.Fatalf("Expand: %v", err)
 	}
+	var pkgs []*Package
 	for _, p := range paths {
-		if _, err := l.Load(p); err != nil {
-			t.Errorf("Load(%s): %v", p, err)
+		pkg, err := l.Load(p)
+		if err != nil {
+			t.Fatalf("Load(%s): %v", p, err)
 		}
+		pkgs = append(pkgs, pkg)
+	}
+	for _, f := range Run(pkgs, Analyzers(), DefaultConfig(root), l.ModulePath()) {
+		t.Errorf("finding in clean tree: %s", f)
 	}
 }
 
