@@ -1,0 +1,210 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"gpgpunoc/internal/config"
+	"gpgpunoc/internal/core"
+	"gpgpunoc/internal/mesh"
+	"gpgpunoc/internal/placement"
+	"gpgpunoc/internal/routing"
+	"gpgpunoc/internal/sweep"
+	"gpgpunoc/internal/vc"
+)
+
+// pieces builds the analysis inputs for a configuration without going
+// through config.Validate, so deliberately unsafe configurations can be
+// inspected directly.
+func pieces(t *testing.T, cfg config.Config) (*core.LinkUsage, vc.Assigner) {
+	t.Helper()
+	m := mesh.New(cfg.NoC.Width, cfg.NoC.Height)
+	pl, err := placement.New(cfg.Placement, m, cfg.Mem.NumMCs)
+	if err != nil {
+		t.Fatalf("placement: %v", err)
+	}
+	alg, err := routing.New(cfg.NoC.Routing)
+	if err != nil {
+		t.Fatalf("routing: %v", err)
+	}
+	u := core.Analyze(m, pl, alg)
+	asg, err := core.BuildAssigner(u, cfg.NoC)
+	if err != nil {
+		t.Fatalf("assigner: %v", err)
+	}
+	return u, asg
+}
+
+func variant(pl config.Placement, r config.Routing, p config.VCPolicy) config.Config {
+	cfg := config.Default()
+	cfg.Placement = pl
+	cfg.NoC.Routing = r
+	cfg.NoC.VCPolicy = p
+	return cfg
+}
+
+// TestCDGMatchesLinkUsageOnSweepGrid cross-validates the two independent
+// safety analyses — the link-overlap test and the CDG acyclicity prover — on
+// every configuration of the full example sweep grid.
+func TestCDGMatchesLinkUsageOnSweepGrid(t *testing.T) {
+	spec, err := sweep.ReadSpec("../../examples/sweepspec.json")
+	if err != nil {
+		t.Fatalf("read spec: %v", err)
+	}
+	jobs, skips, err := spec.Expand()
+	if err != nil {
+		t.Fatalf("expand: %v", err)
+	}
+	if len(skips) != 0 {
+		t.Fatalf("grid spec skipped %d points: %v", len(skips), skips)
+	}
+	if len(jobs) < 24 {
+		t.Fatalf("grid spec expanded to %d jobs, want >= 24", len(jobs))
+	}
+	for _, j := range jobs {
+		u, asg := pieces(t, j.Cfg)
+		overlap := u.CheckPolicy(asg)
+		cdg := u.CDG(asg, j.Cfg.NoC.VCsPerPort).ProveDeadlockFree()
+		if (overlap == nil) != (cdg == nil) {
+			t.Errorf("%s: analyses disagree: overlap=%v cdg=%v", j.Key, overlap, cdg)
+		}
+		if overlap != nil || cdg != nil {
+			t.Errorf("%s: grid config reported unsafe: overlap=%v cdg=%v", j.Key, overlap, cdg)
+		}
+	}
+}
+
+// TestCDGSoundOnDesignSpace sweeps the whole placement x routing x policy
+// space and checks the soundness direction that must always hold: whenever
+// the link-overlap test declares a configuration safe, the dependency graph
+// must be acyclic (the overlap test is the more conservative of the two).
+func TestCDGSoundOnDesignSpace(t *testing.T) {
+	placements := append(config.Placements(), config.PlacementTop)
+	policies := []config.VCPolicy{config.VCSplit, config.VCMonopolized, config.VCPartialMonopolized, config.VCShared}
+	for _, pl := range placements {
+		for _, r := range config.Routings() {
+			for _, p := range policies {
+				cfg := variant(pl, r, p)
+				u, asg := pieces(t, cfg)
+				overlap := u.CheckPolicy(asg)
+				cdg := u.CDG(asg, cfg.NoC.VCsPerPort).ProveDeadlockFree()
+				if overlap == nil && cdg != nil {
+					t.Errorf("%s/%s/%s: overlap test says safe but CDG found a cycle: %v", pl, r, p, cdg)
+				}
+			}
+		}
+	}
+}
+
+// TestCDGFindsCycleOnUnsafeConfigs pins the prover's other direction: on
+// deliberately unsafe configurations it must produce a concrete dependency
+// cycle whose edges chain request routes into reply routes through an MC
+// conversion.
+func TestCDGFindsCycleOnUnsafeConfigs(t *testing.T) {
+	cases := []config.Config{
+		// XY-YX mixes classes on horizontal links; monopolizing hands both
+		// classes every VC there.
+		variant(config.PlacementBottom, config.RoutingXYYX, config.VCMonopolized),
+		// Top-bottom placement mixes on vertical links under XY; shared VCs
+		// have no class separation anywhere.
+		variant(config.PlacementTopBottom, config.RoutingXY, config.VCShared),
+	}
+	for _, cfg := range cases {
+		name := string(cfg.Placement) + "/" + string(cfg.NoC.Routing) + "/" + string(cfg.NoC.VCPolicy)
+		u, asg := pieces(t, cfg)
+		if err := u.CheckPolicy(asg); err == nil {
+			t.Errorf("%s: overlap test unexpectedly says safe", name)
+		}
+		g := u.CDG(asg, cfg.NoC.VCsPerPort)
+		cyc := g.FindCycle()
+		if cyc == nil {
+			t.Errorf("%s: CDG found no cycle", name)
+			continue
+		}
+		if len(cyc) < 2 {
+			t.Errorf("%s: degenerate cycle %v", name, cyc)
+			continue
+		}
+		// Every hop of the reported chain, including the closing edge, must
+		// be a real edge of the graph.
+		hasConversion := false
+		for i := range cyc {
+			from, to := cyc[i], cyc[(i+1)%len(cyc)]
+			bits := g.EdgeClass(from, to)
+			if bits == 0 {
+				t.Errorf("%s: reported cycle has no edge %s -> %s", name, from, to)
+			}
+			if bits&core.EdgeConversion != 0 {
+				hasConversion = true
+			}
+		}
+		if !hasConversion {
+			t.Errorf("%s: cycle %s has no MC conversion edge; a protocol cycle must cross classes", name, g.CycleString(cyc))
+		}
+		if err := g.ProveDeadlockFree(); err == nil {
+			t.Errorf("%s: ProveDeadlockFree returned nil despite cycle", name)
+		} else if !strings.Contains(err.Error(), "channel dependency cycle") {
+			t.Errorf("%s: unexpected error text: %v", name, err)
+		}
+	}
+}
+
+// TestCDGProvesSafeMixedConfigs checks that the prover is not just the
+// overlap test in disguise: configurations where the classes do share links
+// but the VC discipline separates them must come out acyclic.
+func TestCDGProvesSafeMixedConfigs(t *testing.T) {
+	cases := []config.Config{
+		variant(config.PlacementBottom, config.RoutingXYYX, config.VCSplit),
+		variant(config.PlacementBottom, config.RoutingXYYX, config.VCPartialMonopolized),
+		variant(config.PlacementDiamond, config.RoutingXY, config.VCPartialMonopolized),
+		variant(config.PlacementTopBottom, config.RoutingYX, config.VCSplit),
+	}
+	for _, cfg := range cases {
+		name := string(cfg.Placement) + "/" + string(cfg.NoC.Routing) + "/" + string(cfg.NoC.VCPolicy)
+		u, asg := pieces(t, cfg)
+		if len(u.MixedLinks()) == 0 {
+			t.Errorf("%s: expected class-mixing links, found none", name)
+		}
+		if err := u.CheckPolicy(asg); err != nil {
+			t.Errorf("%s: overlap test says unsafe: %v", name, err)
+		}
+		if err := u.CDG(asg, cfg.NoC.VCsPerPort).ProveDeadlockFree(); err != nil {
+			t.Errorf("%s: CDG found a cycle on a safe config: %v", name, err)
+		}
+	}
+}
+
+// TestCDGDeterministic pins that the reported cycle is a pure function of
+// the configuration: two independent builds must report the identical chain.
+func TestCDGDeterministic(t *testing.T) {
+	cfg := variant(config.PlacementBottom, config.RoutingXYYX, config.VCMonopolized)
+	u1, asg1 := pieces(t, cfg)
+	u2, asg2 := pieces(t, cfg)
+	c1 := u1.CDG(asg1, cfg.NoC.VCsPerPort).FindCycle()
+	c2 := u2.CDG(asg2, cfg.NoC.VCsPerPort).FindCycle()
+	if len(c1) == 0 || len(c2) == 0 {
+		t.Fatalf("expected cycles, got %v and %v", c1, c2)
+	}
+	if len(c1) != len(c2) {
+		t.Fatalf("cycle lengths differ: %d vs %d", len(c1), len(c2))
+	}
+	for i := range c1 {
+		if c1[i] != c2[i] {
+			t.Fatalf("cycles diverge at %d: %v vs %v", i, c1[i], c2[i])
+		}
+	}
+}
+
+// TestValidateRejectsUnsafeViaCDGPath exercises the wiring: config.Validate
+// must reject an unsafe combination (either analysis firing) and accept it
+// again under AllowUnsafe.
+func TestValidateRejectsUnsafeViaCDGPath(t *testing.T) {
+	cfg := variant(config.PlacementBottom, config.RoutingXYYX, config.VCMonopolized)
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("Validate accepted an unsafe configuration")
+	}
+	cfg.AllowUnsafe = true
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("Validate rejected with AllowUnsafe: %v", err)
+	}
+}

@@ -46,7 +46,14 @@ func init() {
 		if err != nil {
 			return err
 		}
-		return u.CheckPolicy(asg)
+		if err := u.CheckPolicy(asg); err != nil {
+			return err
+		}
+		// Second, independent proof: the link-overlap test above is the
+		// paper's geometric argument; the channel-dependency-graph prover
+		// verifies acyclicity of the induced waiting graph and would catch
+		// any cycle the overlap test's link-local view missed.
+		return u.CDG(asg, cfg.NoC.VCsPerPort).ProveDeadlockFree()
 	})
 }
 
@@ -298,6 +305,9 @@ func ValidateScheme(s Scheme, base config.Config) (*LinkUsage, error) {
 		return u, err
 	}
 	if err := u.CheckPolicy(asg); err != nil {
+		return u, err
+	}
+	if err := u.CDG(asg, cfg.NoC.VCsPerPort).ProveDeadlockFree(); err != nil {
 		return u, err
 	}
 	return u, nil
