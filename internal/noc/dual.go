@@ -1,6 +1,8 @@
 package noc
 
 import (
+	"fmt"
+
 	"gpgpunoc/internal/config"
 	"gpgpunoc/internal/mesh"
 	"gpgpunoc/internal/packet"
@@ -114,6 +116,17 @@ func (d *Dual) FlitsInFlight() int {
 
 // Quiescent reports deadlock only if the whole system is stuck: flits exist
 // and neither subnet has moved recently.
+// CheckInvariants validates both subnets, naming the one that failed.
+func (d *Dual) CheckInvariants() error {
+	if err := d.request.CheckInvariants(); err != nil {
+		return fmt.Errorf("noc: request subnet: %w", err)
+	}
+	if err := d.reply.CheckInvariants(); err != nil {
+		return fmt.Errorf("noc: reply subnet: %w", err)
+	}
+	return nil
+}
+
 func (d *Dual) Quiescent(window int64) bool {
 	if d.FlitsInFlight() == 0 {
 		return false

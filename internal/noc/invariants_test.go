@@ -1,0 +1,115 @@
+package noc
+
+import (
+	"strings"
+	"testing"
+
+	"gpgpunoc/internal/config"
+	"gpgpunoc/internal/mesh"
+	"gpgpunoc/internal/packet"
+	"gpgpunoc/internal/routing"
+)
+
+// busyNet returns a network mid-flight: several packets injected and a few
+// cycles stepped, so buffers, credits and the in-flight counter all hold
+// non-trivial state, then verified clean.
+func busyNet(t *testing.T) *Network {
+	t.Helper()
+	n := newTestNet(t, config.RoutingXY, config.VCSplit)
+	attachCollectors(n)
+	for i := 0; i < 6; i++ {
+		p := mkPacket(uint64(i+1), packet.ReadReply, mesh.NodeID(i), mesh.NodeID(63-i), 0)
+		if !n.Inject(p) {
+			t.Fatalf("injection %d refused", i)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		n.Step()
+	}
+	if n.FlitsInFlight() == 0 {
+		t.Fatal("network drained before corruption could be tested")
+	}
+	if err := n.CheckInvariants(); err != nil {
+		t.Fatalf("invariants already broken before corruption: %v", err)
+	}
+	return n
+}
+
+// firstOutPort returns some existing output port of the network.
+func firstOutPort(t *testing.T, n *Network) *outPort {
+	t.Helper()
+	for i := range n.routers {
+		for d := mesh.North; d < mesh.Local; d++ {
+			if op := &n.routers[i].out[d]; op.exists {
+				return op
+			}
+		}
+	}
+	t.Fatal("no output port found")
+	return nil
+}
+
+func TestCheckInvariantsDetectsCreditLeak(t *testing.T) {
+	n := busyNet(t)
+	op := firstOutPort(t, n)
+	op.credits[0]++ // a credit appearing from nowhere
+	err := n.CheckInvariants()
+	if err == nil {
+		t.Fatal("CheckInvariants accepted a corrupted credit counter")
+	}
+	if !strings.Contains(err.Error(), "credit leak") {
+		t.Errorf("error %q does not identify the credit leak", err)
+	}
+
+	// The symmetric corruption — a credit silently destroyed — must be
+	// caught too.
+	op.credits[0] -= 2
+	if err := n.CheckInvariants(); err == nil || !strings.Contains(err.Error(), "credit leak") {
+		t.Errorf("lost credit not reported as a leak: %v", err)
+	}
+}
+
+func TestCheckInvariantsDetectsFlitConservationBreak(t *testing.T) {
+	n := busyNet(t)
+	n.inFlight++ // tracker claims a flit the buffers do not hold
+	err := n.CheckInvariants()
+	if err == nil {
+		t.Fatal("CheckInvariants accepted a corrupted in-flight counter")
+	}
+	if !strings.Contains(err.Error(), "flit conservation broken") {
+		t.Errorf("error %q does not identify the conservation break", err)
+	}
+}
+
+func TestCheckInvariantsCleanAfterDrain(t *testing.T) {
+	n := busyNet(t)
+	if !n.Drain(2000) {
+		t.Fatalf("network failed to drain; %d flits in flight", n.FlitsInFlight())
+	}
+	if err := n.CheckInvariants(); err != nil {
+		t.Errorf("invariants broken after a clean drain: %v", err)
+	}
+}
+
+// TestDualCheckInvariants verifies the Dual implementation checks both
+// subnets and names the broken one.
+func TestDualCheckInvariants(t *testing.T) {
+	cfg := config.Default().NoC
+	d := NewDual(cfg, routing.MustNew(cfg.Routing))
+	if err := d.CheckInvariants(); err != nil {
+		t.Fatalf("fresh dual network fails invariants: %v", err)
+	}
+
+	d.request.inFlight++
+	err := d.CheckInvariants()
+	if err == nil || !strings.Contains(err.Error(), "request subnet") {
+		t.Errorf("request-subnet corruption reported as %v", err)
+	}
+	d.request.inFlight--
+
+	d.reply.inFlight++
+	err = d.CheckInvariants()
+	if err == nil || !strings.Contains(err.Error(), "reply subnet") {
+		t.Errorf("reply-subnet corruption reported as %v", err)
+	}
+}

@@ -66,6 +66,9 @@ type Interconnect interface {
 	// Quiescent reports no movement for the trailing window cycles while
 	// flits remain in flight — the deadlock watchdog.
 	Quiescent(window int64) bool
+	// CheckInvariants validates internal consistency (credit accounting and
+	// flit conservation); the gpu sanitizer samples it during runs.
+	CheckInvariants() error
 }
 
 // injQueue is a node's bounded injection FIFO, in flits.
