@@ -38,6 +38,7 @@ func main() {
 		dryRun   = flag.Bool("dry-run", false, "print the expanded job list and exit")
 		quiet    = flag.Bool("quiet", false, "suppress per-job progress lines")
 		panicAt  = flag.Int("panic-at", -1, "inject a panic into the Nth job (failure-isolation testing)")
+		sanitize = flag.Int("sanitize", 0, "validate interconnect invariants every N cycles (0 = off)")
 
 		benchmarks = flag.String("benchmarks", "", "comma-separated benchmarks ("+strings.Join(workload.Names(), ",")+"); default all")
 		placements = flag.String("placements", "", "comma-separated placement grid (default: base placement)")
@@ -95,15 +96,21 @@ func main() {
 		printer = sweep.NewPrinter(os.Stderr, len(jobs))
 		opts.Progress = printer.Handle
 	}
-	// Fault injection wraps the default runner rather than replacing it,
-	// so every job except the targeted one still simulates for real.
+	// The sanitizer selects the base runner; fault injection then wraps it
+	// rather than replacing it, so every job except the targeted one still
+	// simulates for real (sanitized when requested).
+	runner := sweep.Simulate
+	if *sanitize > 0 {
+		runner = sweep.SimulateSanitized(*sanitize)
+	}
+	opts.Run = runner
 	if *panicAt >= 0 {
 		target := jobs[min(*panicAt, len(jobs)-1)].Key
 		opts.Run = func(ctx context.Context, j sweep.Job) (gpu.Result, error) {
 			if j.Key == target {
 				panic(fmt.Sprintf("injected panic in job %s (-panic-at %d)", j.Key, *panicAt))
 			}
-			return sweep.Simulate(ctx, j)
+			return runner(ctx, j)
 		}
 	}
 

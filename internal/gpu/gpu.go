@@ -28,6 +28,13 @@ type Simulator struct {
 	Net   noc.Interconnect
 	Place *placement.Placement
 
+	// SanitizeEvery, when > 0, makes RunContext validate the interconnect's
+	// internal invariants (credit accounting, flit conservation) every
+	// SanitizeEvery cycles and abort the run with an error on the first
+	// violation. Sampling keeps the cost proportional to 1/N; zero (the
+	// default) disables the sanitizer entirely.
+	SanitizeEvery int
+
 	SMs []*smcore.SM
 	MCs []*mc.MC
 
@@ -143,6 +150,9 @@ func (s *Simulator) RunContext(ctx context.Context) (Result, error) {
 	s.Net.EnableStats(false)
 	for i := 0; i < s.Cfg.WarmupCycles; i++ {
 		s.Step()
+		if err := s.sanitize(); err != nil {
+			return s.result(false, int64(i)), err
+		}
 		if i%512 == 511 {
 			if err := ctx.Err(); err != nil {
 				return s.result(false, int64(i)), err
@@ -157,6 +167,9 @@ func (s *Simulator) RunContext(ctx context.Context) (Result, error) {
 	s.Net.EnableStats(true)
 	for i := 0; i < s.Cfg.MeasureCycles; i++ {
 		s.Step()
+		if err := s.sanitize(); err != nil {
+			return s.result(false, int64(i)), err
+		}
 		if i%512 == 511 {
 			if err := ctx.Err(); err != nil {
 				return s.result(false, int64(i)), err
@@ -172,6 +185,19 @@ func (s *Simulator) RunContext(ctx context.Context) (Result, error) {
 	res.GPU.Cycles = int64(s.Cfg.MeasureCycles)
 	res.IPC = res.GPU.IPC()
 	return res, nil
+}
+
+// sanitize runs the sampled interconnect invariant check when enabled; a
+// violation is a simulator bug (or corrupted state), reported as an error
+// rather than left to surface as a silent hang or skewed statistics.
+func (s *Simulator) sanitize() error {
+	if s.SanitizeEvery <= 0 || s.cycle%int64(s.SanitizeEvery) != 0 {
+		return nil
+	}
+	if err := s.Net.CheckInvariants(); err != nil {
+		return fmt.Errorf("gpu: sanitizer at cycle %d: %w", s.cycle, err)
+	}
+	return nil
 }
 
 func (s *Simulator) result(deadlocked bool, cycles int64) Result {
@@ -213,6 +239,13 @@ func RunBenchmark(cfg config.Config, benchmark string) (Result, error) {
 // sweep engine uses it to enforce per-job timeouts. On cancellation the
 // partial result is returned together with ctx's error.
 func RunBenchmarkContext(ctx context.Context, cfg config.Config, benchmark string) (Result, error) {
+	return RunBenchmarkSanitized(ctx, cfg, benchmark, 0)
+}
+
+// RunBenchmarkSanitized is RunBenchmarkContext with the runtime sanitizer
+// enabled: every `every` cycles the interconnect's internal invariants are
+// validated and a violation aborts the run with an error. Pass 0 to disable.
+func RunBenchmarkSanitized(ctx context.Context, cfg config.Config, benchmark string, every int) (Result, error) {
 	prof, err := workload.Get(benchmark)
 	if err != nil {
 		return Result{}, err
@@ -221,5 +254,6 @@ func RunBenchmarkContext(ctx context.Context, cfg config.Config, benchmark strin
 	if err != nil {
 		return Result{}, err
 	}
+	sim.SanitizeEvery = every
 	return sim.RunContext(ctx)
 }

@@ -22,6 +22,16 @@ func Simulate(ctx context.Context, j Job) (gpu.Result, error) {
 	return gpu.RunBenchmarkContext(ctx, j.Cfg, j.Benchmark)
 }
 
+// SimulateSanitized returns a RunFunc like Simulate with the runtime
+// sanitizer enabled: every `every` cycles the interconnect invariants are
+// validated, and a violation fails the job instead of corrupting its
+// statistics silently.
+func SimulateSanitized(every int) RunFunc {
+	return func(ctx context.Context, j Job) (gpu.Result, error) {
+		return gpu.RunBenchmarkSanitized(ctx, j.Cfg, j.Benchmark, every)
+	}
+}
+
 // Options tune one engine run.
 type Options struct {
 	// Workers bounds concurrent jobs; 0 means GOMAXPROCS.
