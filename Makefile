@@ -1,11 +1,13 @@
 GO ?= go
 SMOKE_OUT := $(shell mktemp -u /tmp/sweep-smoke.XXXXXX.jsonl)
+TELEMETRY_DEMO_OUT ?= telemetry-demo
 
-.PHONY: check lint vet build test race smoke clean
+.PHONY: check lint vet build test race smoke bench-smoke telemetry-demo clean
 
 # check is the full pre-merge gate: static analysis, build, race-enabled
-# tests, and an end-to-end smoke sweep through cmd/sweep.
-check: lint build race smoke
+# tests, an end-to-end smoke sweep through cmd/sweep, and a one-iteration
+# compile-and-run pass over every benchmark.
+check: lint build race smoke bench-smoke
 
 # lint is all static analysis: go vet plus the repository's own analyzers
 # (determinism, seedflow, paniclint — see internal/lint).
@@ -30,6 +32,21 @@ smoke:
 	$(GO) run ./cmd/sweep -spec examples/sweepspec_smoke.json -out $(SMOKE_OUT)
 	$(GO) run ./cmd/sweep -spec examples/sweepspec_smoke.json -out $(SMOKE_OUT)
 	@rm -f $(SMOKE_OUT)
+
+# bench-smoke compiles and runs every benchmark exactly once — it catches
+# bit-rotted benches without paying for real measurement runs.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# telemetry-demo produces the paper's bottom-vs-diamond link-load contrast
+# as telemetry artifacts: two instrumented runs whose heatmap.csv files
+# show the MC-edge concentration (bottom) against the spread-out diamond.
+telemetry-demo:
+	$(GO) run ./cmd/nocsim -bench KMN -placement bottom \
+		-telemetry-epoch 1000 -telemetry-out $(TELEMETRY_DEMO_OUT)/bottom
+	$(GO) run ./cmd/nocsim -bench KMN -placement diamond \
+		-telemetry-epoch 1000 -telemetry-out $(TELEMETRY_DEMO_OUT)/diamond
+	@echo "artifacts in $(TELEMETRY_DEMO_OUT)/{bottom,diamond}/{series.jsonl,heatmap.csv,trace.json}"
 
 clean:
 	$(GO) clean ./...

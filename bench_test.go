@@ -356,6 +356,23 @@ func BenchmarkGPUCycle(b *testing.B) {
 	}
 }
 
+// BenchmarkGPUCycleTelemetry measures the same full-system cycle path with
+// the telemetry subsystem attached. Compared against BenchmarkGPUCycle it
+// bounds the instrumented overhead; the disabled path (no AttachTelemetry)
+// is BenchmarkGPUCycle itself, which now carries the nil probe checks.
+func BenchmarkGPUCycleTelemetry(b *testing.B) {
+	cfg := config.Default()
+	sim, err := gpu.New(cfg, workload.MustGet("KMN"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim.AttachTelemetry(1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Step()
+	}
+}
+
 // BenchmarkCacheAccess measures the L1 model's access path.
 func BenchmarkCacheAccess(b *testing.B) {
 	c := cache.New(16<<10, 4, 128)

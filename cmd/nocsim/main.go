@@ -9,15 +9,21 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"gpgpunoc/internal/config"
 	"gpgpunoc/internal/experiments"
 	"gpgpunoc/internal/gpu"
+	"gpgpunoc/internal/mesh"
 	"gpgpunoc/internal/noc"
+	"gpgpunoc/internal/packet"
+	"gpgpunoc/internal/telemetry"
 	"gpgpunoc/internal/trace"
 	"gpgpunoc/internal/workload"
 )
@@ -28,6 +34,10 @@ func main() {
 		heatmap  = flag.Bool("heatmap", false, "print per-direction link utilization heatmaps")
 		linkCSV  = flag.String("linkcsv", "", "write per-link flit counts as CSV to this file")
 		traceCSV = flag.String("trace", "", "write a packet/flit lifecycle trace as CSV to this file")
+		sanitize = flag.Int("sanitize", 0, "validate interconnect invariants every N cycles (0 = off)")
+
+		telEpoch = flag.Int64("telemetry-epoch", 0, "sample cycle-domain telemetry every N cycles (0 = off)")
+		telOut   = flag.String("telemetry-out", "telemetry", "directory for telemetry artifacts (series.jsonl, heatmap.csv, trace.json)")
 	)
 	// All simulation-configuration flags (-config, -placement, -routing,
 	// -vcpolicy, -vcs, -depth, -cycles, -seed, -allow-unsafe, ...) come
@@ -51,6 +61,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	sim.SanitizeEvery = *sanitize
+	if *telEpoch > 0 {
+		sim.AttachTelemetry(*telEpoch)
+	}
 	var traceFlush func() error
 	if *traceCSV != "" {
 		net, ok := sim.Net.(*noc.Network)
@@ -72,12 +86,27 @@ func main() {
 			return f.Close()
 		}
 	}
-	res := sim.Run()
+	res, runErr := sim.RunContext(context.Background())
 	if traceFlush != nil {
 		if err := traceFlush(); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+	}
+	if runErr != nil {
+		// Sanitizer violations (and cancellations) still report the partial
+		// result; the non-zero exit is what CI keys on.
+		fmt.Fprintln(os.Stderr, runErr)
+	}
+	if res.Tel != nil {
+		m := mesh.New(cfg.NoC.Width, cfg.NoC.Height)
+		if err := writeTelemetry(res, m, *telOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		sum := res.Tel.Summarize()
+		fmt.Printf("telemetry: %s/{series.jsonl,heatmap.csv,trace.json}  reply:request link flits %.2f (%d:%d)\n\n",
+			*telOut, sum.ReplyRequestRatio(), sum.LinkFlits[packet.Reply], sum.LinkFlits[packet.Request])
 	}
 	fmt.Println(experiments.Summary(res))
 	if *heatmap {
@@ -103,4 +132,39 @@ func main() {
 		fmt.Println("\nthe configuration protocol-deadlocked; run with a safe VC policy (split/asymmetric/partial)")
 		os.Exit(2)
 	}
+	if runErr != nil {
+		os.Exit(1)
+	}
+}
+
+// writeTelemetry exports the instrumented run's three artifacts into dir:
+// the epoch time-series (series.jsonl), the link-utilization heatmap keyed
+// by mesh coordinates (heatmap.csv), and a Chrome trace-event file
+// (trace.json) loadable in chrome://tracing or Perfetto.
+func writeTelemetry(res gpu.Result, m mesh.Mesh, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	write := func(name string, fn func(w io.Writer) error) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if err := write("series.jsonl", res.Tel.WriteJSONL); err != nil {
+		return err
+	}
+	if err := write("heatmap.csv", func(w io.Writer) error {
+		return res.Tel.WriteHeatmapCSV(w, m)
+	}); err != nil {
+		return err
+	}
+	return write("trace.json", func(w io.Writer) error {
+		return res.Tel.WriteChromeTrace(w, telemetry.DefaultTraceFilter)
+	})
 }

@@ -40,6 +40,9 @@ func main() {
 		panicAt  = flag.Int("panic-at", -1, "inject a panic into the Nth job (failure-isolation testing)")
 		sanitize = flag.Int("sanitize", 0, "validate interconnect invariants every N cycles (0 = off)")
 
+		telEpoch = flag.Int64("telemetry-epoch", 0, "sample cycle-domain telemetry every N cycles (0 = off)")
+		telDir   = flag.String("telemetry-dir", "", "directory for per-job telemetry artifacts (default: <out>.telemetry)")
+
 		benchmarks = flag.String("benchmarks", "", "comma-separated benchmarks ("+strings.Join(workload.Names(), ",")+"); default all")
 		placements = flag.String("placements", "", "comma-separated placement grid (default: base placement)")
 		routings   = flag.String("routings", "", "comma-separated routing grid (default: base routing)")
@@ -96,11 +99,18 @@ func main() {
 		printer = sweep.NewPrinter(os.Stderr, len(jobs))
 		opts.Progress = printer.Handle
 	}
-	// The sanitizer selects the base runner; fault injection then wraps it
+	// The instruments select the base runner; fault injection then wraps it
 	// rather than replacing it, so every job except the targeted one still
-	// simulates for real (sanitized when requested).
+	// simulates for real (sanitized/instrumented when requested).
 	runner := sweep.Simulate
-	if *sanitize > 0 {
+	switch {
+	case *telEpoch > 0:
+		runner = sweep.SimulateInstrumented(*sanitize, *telEpoch)
+		opts.TelemetryDir = *telDir
+		if opts.TelemetryDir == "" {
+			opts.TelemetryDir = *out + ".telemetry"
+		}
+	case *sanitize > 0:
 		runner = sweep.SimulateSanitized(*sanitize)
 	}
 	opts.Run = runner

@@ -22,6 +22,8 @@ func main() {
 	var (
 		benchmarks = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all)")
 		parallel   = flag.Int("parallel", 0, "worker goroutines")
+		probes     = flag.Bool("probes", false, "re-derive Figure 2 from the telemetry link probes (with latency decomposition)")
+		telEpoch   = flag.Int64("telemetry-epoch", 1000, "telemetry sampling epoch for -probes, cycles")
 	)
 	// Configuration overrides (-cycles, -warmup, -seed, ...) come from
 	// the shared config.BindFlags API.
@@ -31,6 +33,15 @@ func main() {
 	opts := experiments.Opts{Parallel: *parallel, Overrides: cf.Overrides()}
 	if *benchmarks != "" {
 		opts.Benchmarks = strings.Split(*benchmarks, ",")
+	}
+	if *probes {
+		t, err := experiments.ProbeFig2(opts, *telEpoch)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		t.Fprint(os.Stdout)
+		return
 	}
 	for _, run := range []func(experiments.Opts) (*experiments.Table, error){
 		experiments.Fig2, experiments.Fig3,

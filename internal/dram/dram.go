@@ -14,7 +14,11 @@
 // provided for the ablation benches.
 package dram
 
-import "fmt"
+import (
+	"fmt"
+
+	"gpgpunoc/internal/telemetry"
+)
 
 // Params configures one DRAM channel.
 type Params struct {
@@ -105,6 +109,21 @@ func (d *DRAM) Enqueue(id uint64, addr uint64, now int64) bool {
 
 // QueueLen returns the number of queued (unissued) requests.
 func (d *DRAM) QueueLen() int { return len(d.queue) }
+
+// AttachTelemetry registers the channel's probes on reg under prefix (e.g.
+// "mc.3.dram."), all as GaugeFuncs reading state the channel already
+// tracks: queue depth, issued-but-incomplete accesses, and the row-buffer
+// hit/miss counters. Nothing on the per-cycle path changes.
+func (d *DRAM) AttachTelemetry(reg *telemetry.Registry, prefix string) {
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc(prefix+"queue_depth", func() int64 { return int64(len(d.queue)) })
+	reg.GaugeFunc(prefix+"inflight", func() int64 { return int64(len(d.inflight)) })
+	reg.GaugeFunc(prefix+"row_hits", func() int64 { return d.RowHits })
+	reg.GaugeFunc(prefix+"row_misses", func() int64 { return d.RowMisses })
+	reg.GaugeFunc(prefix+"served", func() int64 { return d.Served })
+}
 
 // InFlight returns the number of issued, incomplete accesses.
 func (d *DRAM) InFlight() int { return len(d.inflight) }

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"gpgpunoc/internal/config"
+	"gpgpunoc/internal/gpu"
+	"gpgpunoc/internal/packet"
+	"gpgpunoc/internal/sweep"
+	"gpgpunoc/internal/telemetry"
+)
+
+// ProbeFig2 re-derives Figure 2's traffic asymmetry purely from the
+// telemetry subsystem's link probes: per-benchmark request and reply flit
+// totals summed over every fabric link, their ratio, and the dominant
+// latency segment of the read transaction. It is both a Figure-2
+// cross-check (the probe counters must tell the same ~2x reply:request
+// story as the stats pipeline) and the observability demo — everything in
+// the table comes from telemetry.Summarize, not from stats.Net.
+func ProbeFig2(o Opts, epoch int64) (*Table, error) {
+	if epoch <= 0 {
+		epoch = 1000
+	}
+	base := o.apply(config.Default())
+	var jobs []job
+	for _, b := range o.benchmarks() {
+		jobs = append(jobs, job{key: b, bench: b, cfg: base})
+	}
+	results, err := runAllInstrumented(jobs, o.Parallel, epoch)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:    "ProbeFig2",
+		Title: "Request vs reply link flits from telemetry probes (Figure 2 cross-check)",
+		Columns: []string{"Benchmark", "Request flits", "Reply flits", "Reply:Request",
+			"Read srcqueue", "Read reqnet", "Read mcservice", "Read replynet"},
+	}
+	var ratios []float64
+	for _, b := range o.benchmarks() {
+		res, ok := results[b]
+		if !ok || res.Tel == nil {
+			return nil, fmt.Errorf("experiments: no telemetry for %s", b)
+		}
+		sum := res.Tel.Summarize()
+		ratios = append(ratios, sum.ReplyRequestRatio())
+		row := []string{b,
+			fmt.Sprintf("%d", sum.LinkFlits[packet.Request]),
+			fmt.Sprintf("%d", sum.LinkFlits[packet.Reply]),
+			f2(sum.ReplyRequestRatio()),
+		}
+		for seg := telemetry.Segment(0); seg < telemetry.NumSegments; seg++ {
+			row = append(row, f2(readSegmentMean(sum, seg)))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Rows = append(t.Rows, []string{"Geomean", "", "", f2(geomean(ratios)), "", "", "", ""})
+	t.Notes = append(t.Notes,
+		"counts come from telemetry link probes, independent of the stats pipeline",
+		"latency columns are mean cycles per read-transaction segment",
+		"paper: reply volume ~2x request on average; RAY inverts due to write demand")
+	return t, nil
+}
+
+// readSegmentMean extracts the mean of one read-latency segment from a
+// telemetry summary, 0 when the run observed no decomposed reads.
+func readSegmentMean(sum telemetry.Summary, seg telemetry.Segment) float64 {
+	for _, ls := range sum.Latency {
+		if ls.Kind == "read" && ls.Segment == seg.String() {
+			return ls.Mean
+		}
+	}
+	return 0
+}
+
+// runAllInstrumented is runAll with the telemetry subsystem attached to
+// every job, sampling every epoch cycles.
+func runAllInstrumented(jobs []job, workers int, epoch int64) (map[string]gpu.Result, error) {
+	sj := make([]sweep.Job, 0, len(jobs))
+	for _, j := range jobs {
+		sj = append(sj, sweep.Job{Key: j.key, Benchmark: j.bench, Cfg: j.cfg})
+	}
+	outs, err := sweep.Run(context.Background(), sj, nil, sweep.Options{
+		Workers: workers,
+		Run:     sweep.SimulateInstrumented(0, epoch),
+	})
+	if err != nil {
+		return nil, err
+	}
+	results := make(map[string]gpu.Result, len(jobs))
+	var firstErr error
+	for _, o := range outs {
+		if o.Err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("%s: %w", o.Job.Key, o.Err)
+		}
+		if o.Res != nil {
+			results[o.Job.Key] = *o.Res
+		}
+	}
+	return results, firstErr
+}

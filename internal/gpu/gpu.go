@@ -18,6 +18,7 @@ import (
 	"gpgpunoc/internal/routing"
 	"gpgpunoc/internal/smcore"
 	"gpgpunoc/internal/stats"
+	"gpgpunoc/internal/telemetry"
 	"gpgpunoc/internal/workload"
 )
 
@@ -34,6 +35,11 @@ type Simulator struct {
 	// violation. Sampling keeps the cost proportional to 1/N; zero (the
 	// default) disables the sanitizer entirely.
 	SanitizeEvery int
+
+	// Tel, when non-nil (see AttachTelemetry), is the cycle-domain
+	// observability subsystem: the run loop drives its epoch sampler and
+	// the result carries it for export. Nil costs one branch per cycle.
+	Tel *telemetry.Telemetry
 
 	SMs []*smcore.SM
 	MCs []*mc.MC
@@ -105,6 +111,30 @@ func New(cfg config.Config, prof workload.Profile) (*Simulator, error) {
 	return s, nil
 }
 
+// AttachTelemetry instruments the whole system with the cycle-domain
+// observability subsystem sampling every epochLen cycles: fabric probes
+// (per-link flit counters by class, VC occupancy, stall attribution,
+// latency decomposition), per-MC and DRAM state, and aggregate core-side
+// counters. Call once, before Run; it returns the telemetry instance whose
+// exporters produce the run's artifacts.
+func (s *Simulator) AttachTelemetry(epochLen int64) *telemetry.Telemetry {
+	if s.Tel != nil {
+		panic("gpu: telemetry attached twice")
+	}
+	t := telemetry.New(epochLen)
+	s.Net.AttachTelemetry(t.Reg)
+	for _, m := range s.MCs {
+		m.AttachTelemetry(t.Reg)
+	}
+	t.Reg.GaugeFunc("core.instructions", func() int64 { return s.gpu.Instructions })
+	t.Reg.GaugeFunc("core.mem_requests", func() int64 { return s.gpu.MemRequests })
+	t.Reg.GaugeFunc("core.stall_cycles", func() int64 { return s.gpu.StallCycles })
+	t.Reg.GaugeFunc("core.l1_misses", func() int64 { return s.gpu.L1Misses })
+	t.Reg.GaugeFunc("core.l2_misses", func() int64 { return s.gpu.L2Misses })
+	s.Tel = t
+	return t
+}
+
 // Step advances the whole system one NoC cycle.
 func (s *Simulator) Step() {
 	for _, sm := range s.SMs {
@@ -115,6 +145,9 @@ func (s *Simulator) Step() {
 	}
 	s.Net.Step()
 	s.cycle++
+	if s.Tel != nil {
+		s.Tel.MaybeSample(s.cycle)
+	}
 }
 
 // Result summarizes one run.
@@ -126,6 +159,11 @@ type Result struct {
 
 	GPU stats.GPU
 	Net *stats.Net
+
+	// Tel carries the telemetry subsystem when the run was instrumented
+	// (AttachTelemetry); nil otherwise. Its exporters write the run's
+	// time-series, heatmap, and trace artifacts.
+	Tel *telemetry.Telemetry
 }
 
 // Metrics condenses the run into the flat, JSON-encodable summary the
@@ -205,6 +243,11 @@ func (s *Simulator) result(deadlocked bool, cycles int64) Result {
 	st.Cycles = cycles
 	g := s.gpu
 	g.Cycles = cycles
+	if s.Tel != nil {
+		// Close the time-series with the run's final state so partial
+		// epochs (cancellation, deadlock, odd run lengths) are captured.
+		s.Tel.Flush(s.cycle)
+	}
 	return Result{
 		Benchmark:  s.Prof.Name,
 		IPC:        g.IPC(),
@@ -212,6 +255,7 @@ func (s *Simulator) result(deadlocked bool, cycles int64) Result {
 		Deadlocked: deadlocked,
 		GPU:        g,
 		Net:        st,
+		Tel:        s.Tel,
 	}
 }
 
@@ -246,6 +290,14 @@ func RunBenchmarkContext(ctx context.Context, cfg config.Config, benchmark strin
 // enabled: every `every` cycles the interconnect's internal invariants are
 // validated and a violation aborts the run with an error. Pass 0 to disable.
 func RunBenchmarkSanitized(ctx context.Context, cfg config.Config, benchmark string, every int) (Result, error) {
+	return RunBenchmarkInstrumented(ctx, cfg, benchmark, every, 0)
+}
+
+// RunBenchmarkInstrumented is the fully instrumented one-call runner: the
+// sampled runtime sanitizer every sanitizeEvery cycles (0 disables) and the
+// telemetry subsystem sampling every telemetryEpoch cycles (0 disables; the
+// result's Tel field carries the collected series for export).
+func RunBenchmarkInstrumented(ctx context.Context, cfg config.Config, benchmark string, sanitizeEvery int, telemetryEpoch int64) (Result, error) {
 	prof, err := workload.Get(benchmark)
 	if err != nil {
 		return Result{}, err
@@ -254,6 +306,9 @@ func RunBenchmarkSanitized(ctx context.Context, cfg config.Config, benchmark str
 	if err != nil {
 		return Result{}, err
 	}
-	sim.SanitizeEvery = every
+	sim.SanitizeEvery = sanitizeEvery
+	if telemetryEpoch > 0 {
+		sim.AttachTelemetry(telemetryEpoch)
+	}
 	return sim.RunContext(ctx)
 }

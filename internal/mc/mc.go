@@ -10,6 +10,8 @@
 package mc
 
 import (
+	"fmt"
+
 	"gpgpunoc/internal/cache"
 	"gpgpunoc/internal/config"
 	"gpgpunoc/internal/dram"
@@ -17,6 +19,7 @@ import (
 	"gpgpunoc/internal/noc"
 	"gpgpunoc/internal/packet"
 	"gpgpunoc/internal/stats"
+	"gpgpunoc/internal/telemetry"
 )
 
 // pendingReply is a serviced request waiting for its latency to elapse.
@@ -67,6 +70,24 @@ func New(idx int, node mesh.NodeID, cfg config.Mem, net noc.Interconnect, gpu *s
 		dramWait: make(map[uint64]*packet.Packet),
 		gpu:      gpu,
 	}
+}
+
+// AttachTelemetry registers this controller's probes on reg (nil is a
+// no-op): queue depths and service counts as GaugeFuncs — read only when
+// the epoch sampler fires, so the MC's hot path is untouched — plus the
+// DRAM channel's own probe set.
+func (m *MC) AttachTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	prefix := fmt.Sprintf("mc.%d.", m.Index)
+	reg.GaugeFunc(prefix+"queue_depth", func() int64 { return int64(m.queue) })
+	reg.GaugeFunc(prefix+"outbox", func() int64 { return int64(len(m.outbox)) })
+	reg.GaugeFunc(prefix+"dram_retry", func() int64 { return int64(len(m.retryDRAM)) })
+	reg.GaugeFunc(prefix+"l2_wait", func() int64 { return int64(len(m.inL2)) })
+	reg.GaugeFunc(prefix+"reads_served", func() int64 { return m.ReadsServed })
+	reg.GaugeFunc(prefix+"writes_served", func() int64 { return m.WritesServed })
+	m.dram.AttachTelemetry(reg, prefix+"dram.")
 }
 
 // L2 exposes the cache for inspection in tests and reports.
@@ -159,6 +180,12 @@ func (m *MC) makeReply(req *packet.Packet, now int64) *packet.Packet {
 		Flits:     packet.Length(rt),
 		Access:    req.Access,
 		CreatedAt: now,
+		// Carry the request's timestamps so telemetry can decompose the
+		// transaction's end-to-end latency at reply ejection.
+		ReqCreatedAt:  req.CreatedAt,
+		ReqInjectedAt: req.InjectedAt,
+		ReqEjectedAt:  req.EjectedAt,
+		ReqTimed:      true,
 	}
 }
 

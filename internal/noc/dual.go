@@ -8,6 +8,7 @@ import (
 	"gpgpunoc/internal/packet"
 	"gpgpunoc/internal/routing"
 	"gpgpunoc/internal/stats"
+	"gpgpunoc/internal/telemetry"
 	"gpgpunoc/internal/vc"
 )
 
@@ -112,6 +113,14 @@ func (d *Dual) EnableStats(on bool) {
 // FlitsInFlight sums both subnets.
 func (d *Dual) FlitsInFlight() int {
 	return d.request.FlitsInFlight() + d.reply.FlitsInFlight()
+}
+
+// AttachTelemetry instruments both subnets with disjoint probe names: the
+// request subnet's probes carry the "req." prefix, the reply subnet's
+// "rep.". Exporters and Summarize merge the two per link.
+func (d *Dual) AttachTelemetry(reg *telemetry.Registry) {
+	d.request.attachTelemetry(reg, "req.")
+	d.reply.attachTelemetry(reg, "rep.")
 }
 
 // Quiescent reports deadlock only if the whole system is stuck: flits exist

@@ -19,6 +19,7 @@ import (
 	"gpgpunoc/internal/packet"
 	"gpgpunoc/internal/routing"
 	"gpgpunoc/internal/stats"
+	"gpgpunoc/internal/telemetry"
 	"gpgpunoc/internal/vc"
 )
 
@@ -69,6 +70,11 @@ type Interconnect interface {
 	// CheckInvariants validates internal consistency (credit accounting and
 	// flit conservation); the gpu sanitizer samples it during runs.
 	CheckInvariants() error
+	// AttachTelemetry registers the fabric's cycle-domain probes (per-link
+	// flit counters by class, VC occupancy gauges, stall attribution) on
+	// reg. A nil registry leaves the fabric un-instrumented: every probe
+	// site then costs one predictable nil check, like a nil Tracer.
+	AttachTelemetry(reg *telemetry.Registry)
 }
 
 // injQueue is a node's bounded injection FIFO, in flits.
@@ -115,6 +121,7 @@ type Network struct {
 
 	stats    *stats.Net
 	tracer   Tracer
+	tel      *telemetry.NetProbes
 	cycle    int64
 	moved    bool
 	lastMove int64
@@ -244,6 +251,46 @@ func (n *Network) SetSink(node mesh.NodeID, s Sink) { n.sinks[node] = s }
 // SetTracer installs a lifecycle observer (nil disables tracing).
 func (n *Network) SetTracer(tr Tracer) { n.tracer = tr }
 
+// AttachTelemetry registers this network's probe set on reg (nil is a
+// no-op). Counting sites are gated on one nil check; instantaneous levels
+// (VC occupancy, injection-queue backlog) are GaugeFuncs read only when the
+// epoch sampler fires, so they cost nothing per cycle.
+func (n *Network) AttachTelemetry(reg *telemetry.Registry) {
+	n.attachTelemetry(reg, "")
+}
+
+// attachTelemetry is AttachTelemetry with a probe-name prefix, so the two
+// subnets of a Dual register disjoint names ("req.", "rep.").
+func (n *Network) attachTelemetry(reg *telemetry.Registry, prefix string) {
+	if reg == nil {
+		return
+	}
+	n.tel = telemetry.NewNetProbes(reg, n.m, prefix)
+	// Buffer-fill gauges live here because VC buffers are router-private:
+	// one GaugeFunc per (link, VC) reading the downstream input buffer, and
+	// one per node reading the injection-queue backlog.
+	for i := range n.routers {
+		rt := &n.routers[i]
+		for d := mesh.North; d < mesh.Local; d++ {
+			op := &rt.out[d]
+			if !op.exists {
+				continue
+			}
+			stem := prefix + telemetry.LinkName(n.m, mesh.Link{From: rt.id, Dir: d})
+			for v := 0; v < n.vcs; v++ {
+				buf := &n.routers[op.downNode].in[op.downPort][v].buf
+				reg.GaugeFunc(fmt.Sprintf("%s.vc%d.occupancy", stem, v),
+					func() int64 { return int64(buf.len()) })
+			}
+		}
+	}
+	for id := range n.inj {
+		q := &n.inj[id]
+		reg.GaugeFunc(fmt.Sprintf("%snode.%d.injq.flits", prefix, id),
+			func() int64 { return int64(q.flits) })
+	}
+}
+
 // sinkAccept offers f to the node's sink; true means the sink consumed it.
 func (n *Network) sinkAccept(node mesh.NodeID, f packet.Flit) bool {
 	s := n.sinks[node]
@@ -300,6 +347,9 @@ func (n *Network) injectPhase() {
 				q.flits--
 				budget--
 				n.moved = true
+				if n.tel != nil {
+					n.tel.InjFlits[id].Inc()
+				}
 			}
 			if q.sent < p.Flits {
 				break // out of budget or VC space mid-packet

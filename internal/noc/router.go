@@ -208,6 +208,10 @@ func (n *Network) sendable(rt *router, p, v int, d mesh.Direction) bool {
 func (n *Network) switchAllocateAndTraverse(rt *router) {
 	V := n.vcs
 	var usedInput [mesh.NumPorts]bool
+	var movedVC [mesh.NumPorts]int
+	for p := range movedVC {
+		movedVC[p] = -1
+	}
 	for d := mesh.Direction(0); d < mesh.NumPorts; d++ {
 		op := &rt.out[d]
 		if !op.exists {
@@ -231,9 +235,44 @@ func (n *Network) switchAllocateAndTraverse(rt *router) {
 					continue // sink refused this packet; try the next VC
 				}
 				usedInput[p] = true
+				movedVC[p] = v
 				rt.saPtr[d] = (p + 1) % mesh.NumPorts
 				rt.saVCPtr[p] = (v + 1) % V
 				break grant
+			}
+		}
+	}
+	if n.tel != nil {
+		n.countStalls(rt, &movedVC)
+	}
+}
+
+// countStalls attributes, once per cycle per stalled input VC, why its front
+// flit did not move: no output VC granted (VC allocation), an allocated VC
+// with no downstream credits (credit), or a ready flit that lost the switch
+// or found the link register occupied (route). Flits still inside the
+// pipeline delay and ejection-blocked flits are not charged. Telemetry-only;
+// runs after SA so "moved this cycle" is known exactly.
+func (n *Network) countStalls(rt *router, movedVC *[mesh.NumPorts]int) {
+	for p := 0; p < mesh.NumPorts; p++ {
+		for v := range rt.in[p] {
+			ivc := &rt.in[p][v]
+			if ivc.buf.len() == 0 || !ivc.routed || ivc.route == mesh.Local {
+				continue
+			}
+			if movedVC[p] == v {
+				continue // progressed this cycle
+			}
+			if n.cycle < ivc.buf.front().arrived+n.pipeDelay {
+				continue // still in the first pipeline stage
+			}
+			switch {
+			case ivc.outVC == -1:
+				n.tel.StallVCAlloc.Inc()
+			case rt.out[ivc.route].credits[ivc.outVC] == 0:
+				n.tel.StallCredit.Inc()
+			default:
+				n.tel.StallRoute.Inc()
 			}
 		}
 	}
@@ -244,8 +283,18 @@ func (n *Network) switchAllocateAndTraverse(rt *router) {
 // in that case.
 func (n *Network) traverse(rt *router, p, v int, d mesh.Direction) bool {
 	ivc := &rt.in[p][v]
-	if d == mesh.Local && !n.sinkAccept(rt.id, ivc.buf.front().flit) {
-		return false
+	if d == mesh.Local {
+		front := ivc.buf.front().flit
+		if front.Tail {
+			// Stamp before the sink sees the tail: endpoints (the MC) read
+			// EjectedAt inside the sink callback to capture the request
+			// phase's timeline. A refusal leaves an early stamp behind,
+			// which the successful retry overwrites.
+			front.Pkt.EjectedAt = n.cycle
+		}
+		if !n.sinkAccept(rt.id, front) {
+			return false
+		}
 	}
 	bf := ivc.buf.pop()
 	f := bf.flit
@@ -258,11 +307,16 @@ func (n *Network) traverse(rt *router, p, v int, d mesh.Direction) bool {
 
 	if d == mesh.Local {
 		n.inFlight--
+		if n.tel != nil {
+			n.tel.EjFlits[rt.id].Inc()
+		}
 		if f.Tail {
-			f.Pkt.EjectedAt = n.cycle
 			n.stats.CountEjection(f.Pkt)
 			if n.tracer != nil {
 				n.tracer.PacketEjected(f.Pkt, n.cycle)
+			}
+			if n.tel != nil {
+				n.tel.PacketEjected(f.Pkt, n.cycle)
 			}
 		}
 	} else {
@@ -275,6 +329,9 @@ func (n *Network) traverse(rt *router, p, v int, d mesh.Direction) bool {
 		n.stats.CountLink(mesh.Link{From: rt.id, Dir: d}, f.Pkt.Class())
 		if n.tracer != nil {
 			n.tracer.FlitHop(f, mesh.Link{From: rt.id, Dir: d}, n.cycle)
+		}
+		if n.tel != nil {
+			n.tel.LinkFlits[f.Pkt.Class()][n.m.LinkIndex(mesh.Link{From: rt.id, Dir: d})].Inc()
 		}
 	}
 

@@ -121,6 +121,16 @@ type Packet struct {
 	CreatedAt  int64 // when the source queued the packet
 	InjectedAt int64 // when the head flit entered the network
 	EjectedAt  int64 // when the tail flit left the network
+
+	// Request-phase timestamps, copied onto the reply by the memory
+	// controller so a transaction's end-to-end latency decomposes into
+	// source queueing / request network / MC service / reply network
+	// segments (internal/telemetry). ReqTimed marks them valid: cycle 0
+	// is a legitimate timestamp, so zero values alone cannot.
+	ReqCreatedAt  int64
+	ReqInjectedAt int64
+	ReqEjectedAt  int64
+	ReqTimed      bool
 }
 
 // Class returns the packet's traffic class.

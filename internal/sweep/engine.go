@@ -3,6 +3,8 @@ package sweep
 import (
 	"context"
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/debug"
 	"sync"
@@ -32,6 +34,17 @@ func SimulateSanitized(every int) RunFunc {
 	}
 }
 
+// SimulateInstrumented returns a RunFunc like Simulate with both runtime
+// instruments enabled: the sampled sanitizer every sanitizeEvery cycles
+// (0 disables) and the telemetry subsystem sampling every telemetryEpoch
+// cycles (0 disables). Instrumented results carry their telemetry in
+// Result.Tel; pair with Options.TelemetryDir to persist per-job artifacts.
+func SimulateInstrumented(sanitizeEvery int, telemetryEpoch int64) RunFunc {
+	return func(ctx context.Context, j Job) (gpu.Result, error) {
+		return gpu.RunBenchmarkInstrumented(ctx, j.Cfg, j.Benchmark, sanitizeEvery, telemetryEpoch)
+	}
+}
+
 // Options tune one engine run.
 type Options struct {
 	// Workers bounds concurrent jobs; 0 means GOMAXPROCS.
@@ -45,6 +58,13 @@ type Options struct {
 	Progress func(Event)
 	// Run substitutes the job executor; nil means Simulate.
 	Run RunFunc
+	// TelemetryDir, when non-empty, persists each instrumented job's
+	// telemetry (Result.Tel != nil) as
+	// <dir>/<fingerprint>.telemetry.jsonl and <fingerprint>.heatmap.csv.
+	// Fingerprint-keyed names make artifacts line up with the output JSONL
+	// and survive resumes: a skipped job keeps its existing artifacts. A
+	// write failure aborts the sweep, like a sink failure.
+	TelemetryDir string
 }
 
 // EventType distinguishes progress callbacks.
@@ -206,6 +226,12 @@ func Run(ctx context.Context, jobs []Job, sink Sink, opts Options) ([]Outcome, e
 					o.Res = &r
 					ev.Type = EventDone
 					ev.IPC = r.IPC
+					if opts.TelemetryDir != "" && r.Tel != nil {
+						if werr := writeJobTelemetry(opts.TelemetryDir, rec.Fingerprint, &r); werr != nil {
+							cancel(fmt.Errorf("sweep: telemetry artifact: %w", werr))
+							return
+						}
+					}
 				}
 				if sink != nil {
 					if werr := sink.Write(o.Record); werr != nil {
@@ -233,6 +259,34 @@ feed:
 		return outs, err
 	}
 	return outs, nil
+}
+
+// writeJobTelemetry persists one instrumented job's artifacts, named by the
+// job's fingerprint so they key to the same record as the output JSONL.
+func writeJobTelemetry(dir, fingerprint string, r *gpu.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, fingerprint+".telemetry.jsonl"))
+	if err != nil {
+		return err
+	}
+	if err := r.Tel.WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	h, err := os.Create(filepath.Join(dir, fingerprint+".heatmap.csv"))
+	if err != nil {
+		return err
+	}
+	if err := r.Tel.WriteHeatmapCSV(h, r.Net.Mesh); err != nil {
+		h.Close()
+		return err
+	}
+	return h.Close()
 }
 
 // runShielded invokes fn with panic recovery: a panicking job reports as a

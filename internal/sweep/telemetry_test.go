@@ -1,0 +1,121 @@
+package sweep
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gpgpunoc/internal/gpu"
+	"gpgpunoc/internal/mesh"
+	"gpgpunoc/internal/packet"
+	"gpgpunoc/internal/stats"
+	"gpgpunoc/internal/telemetry"
+)
+
+// telRun is a RunFunc producing an instrumented result without simulating:
+// a tiny mesh with one link counter bumped and a flushed epoch series.
+func telRun(ctx context.Context, j Job) (gpu.Result, error) {
+	m := mesh.New(2, 2)
+	tel := telemetry.New(10)
+	np := telemetry.NewNetProbes(tel.Reg, m, "")
+	np.LinkFlits[packet.Request][m.LinkIndex(mesh.Link{From: 0, Dir: mesh.East})].Add(3)
+	tel.Flush(20)
+	return gpu.Result{Benchmark: j.Benchmark, IPC: 1, Net: stats.NewNet(m), Tel: tel}, nil
+}
+
+func TestRunWritesTelemetryArtifacts(t *testing.T) {
+	jobs, _, err := smallSpec().Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs = jobs[:3]
+	dir := filepath.Join(t.TempDir(), "tel")
+	outs, err := Run(context.Background(), jobs, nil, Options{
+		Workers: 2, Run: telRun, TelemetryDir: dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != len(jobs) {
+		t.Fatalf("%d outcomes", len(outs))
+	}
+	for _, j := range jobs {
+		fp := j.Fingerprint()
+		f, err := os.Open(filepath.Join(dir, fp+".telemetry.jsonl"))
+		if err != nil {
+			t.Fatalf("missing series artifact: %v", err)
+		}
+		ex, err := telemetry.ReadJSONL(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", fp, err)
+		}
+		if len(ex.Samples) == 0 {
+			t.Errorf("%s: empty series", fp)
+		}
+		if _, err := os.Stat(filepath.Join(dir, fp+".heatmap.csv")); err != nil {
+			t.Errorf("missing heatmap artifact: %v", err)
+		}
+	}
+}
+
+// TestRunTelemetrySkipKeepsArtifacts checks resumability: a resumed sweep
+// skips completed jobs without touching their existing artifacts.
+func TestRunTelemetrySkipKeepsArtifacts(t *testing.T) {
+	jobs, _, err := smallSpec().Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs = jobs[:2]
+	dir := t.TempDir()
+	if _, err := Run(context.Background(), jobs, nil, Options{Run: telRun, TelemetryDir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, jobs[0].Fingerprint()+".telemetry.jsonl")
+	before, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done := map[string]bool{jobs[0].Fingerprint(): true}
+	ran := 0
+	counting := func(ctx context.Context, j Job) (gpu.Result, error) {
+		ran++
+		return telRun(ctx, j)
+	}
+	if _, err := Run(context.Background(), jobs, nil, Options{
+		Workers: 1, Run: counting, Done: done, TelemetryDir: dir,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 1 {
+		t.Fatalf("resume ran %d jobs, want 1", ran)
+	}
+	after, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !after.ModTime().Equal(before.ModTime()) || after.Size() != before.Size() {
+		t.Error("resume rewrote a skipped job's artifact")
+	}
+}
+
+func TestRunTelemetryWriteErrorAbortsSweep(t *testing.T) {
+	jobs, _, err := smallSpec().Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs = jobs[:2]
+	// A regular file where the artifact directory should be makes every
+	// artifact write fail, which must abort the sweep like a sink error.
+	blocker := filepath.Join(t.TempDir(), "blocker")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(context.Background(), jobs, nil, Options{
+		Workers: 1, Run: telRun, TelemetryDir: blocker,
+	}); err == nil {
+		t.Fatal("artifact write failure did not abort the sweep")
+	}
+}

@@ -1,0 +1,151 @@
+package telemetry
+
+import (
+	"fmt"
+
+	"gpgpunoc/internal/mesh"
+	"gpgpunoc/internal/packet"
+)
+
+// Probe naming scheme (see DESIGN.md §8). All names are prefixed by the
+// subnet prefix ("" for a single physical network, "req."/"rep." for the
+// two subnets of noc.Dual):
+//
+//	link.N<from>->N<to>.<class>.flits     counter  flits of a class crossing the link
+//	link.N<from>->N<to>.vc<k>.occupancy   gauge    downstream input-VC buffer fill
+//	node.<id>.injected.flits              counter  flits entering the fabric at the node
+//	node.<id>.ejected.flits               counter  flits leaving the fabric at the node
+//	node.<id>.injq.flits                  gauge    injection-queue backlog
+//	net.stall.credit|route|vcalloc        counter  per-cycle stall attributions
+//	latency.<read|write>.<segment>        histogram transaction latency decomposition
+//	mc.<i>.*, mc.<i>.dram.*               gauges   memory-controller / DRAM state
+//	core.*                                gauges   aggregate processor-side counters
+
+// Segment indexes the four pieces a memory transaction's end-to-end latency
+// decomposes into: waiting in the source's injection queue, crossing the
+// request network, being serviced by the MC (L2/DRAM plus reply queueing),
+// and crossing the reply network.
+type Segment uint8
+
+// Latency segments.
+const (
+	SegSrcQueue Segment = iota
+	SegReqNet
+	SegMCService
+	SegReplyNet
+	// NumSegments is the number of latency segments.
+	NumSegments = 4
+)
+
+var segmentNames = [NumSegments]string{"srcqueue", "reqnet", "mcservice", "replynet"}
+
+// String names the segment.
+func (s Segment) String() string {
+	if int(s) < len(segmentNames) {
+		return segmentNames[s]
+	}
+	return fmt.Sprintf("Segment(%d)", uint8(s))
+}
+
+// transaction kinds for the latency decomposition.
+const (
+	txRead = iota
+	txWrite
+	numTx
+)
+
+var txNames = [numTx]string{"read", "write"}
+
+// DefaultLatencyBounds is the bucket layout for latency histograms:
+// exponential from 8 to 16384 cycles, which brackets everything from
+// zero-load traversal to a deeply congested reply path.
+func DefaultLatencyBounds() []int64 { return ExpBounds(8, 2, 12) }
+
+// NetProbes is the probe bundle for one physical network: slice-indexed
+// pointers so every hot-path update is a direct int64 increment with no map
+// or string work. Construction registers every probe by name; the fabric
+// additionally registers its private-state GaugeFuncs (VC occupancy,
+// injection-queue backlog) itself.
+type NetProbes struct {
+	// LinkFlits counts flit traversals per class, indexed by
+	// mesh.LinkIndex; slots without a physical link are nil.
+	LinkFlits [packet.NumClasses][]*Counter
+	// InjFlits / EjFlits count flits entering/leaving the fabric per node.
+	InjFlits, EjFlits []*Counter
+	// Stall attribution counters: an input VC holding a flit that cannot
+	// move is charged to exactly one cause each cycle.
+	StallCredit, StallRoute, StallVCAlloc *Counter
+
+	lat [numTx][NumSegments]*Histogram
+}
+
+// LinkName returns the canonical probe-name stem for a directed link:
+// "link.N<from>->N<to>".
+func LinkName(m mesh.Mesh, l mesh.Link) string {
+	to, ok := m.Neighbor(m.Coord(l.From), l.Dir)
+	if !ok {
+		panic("telemetry: LinkName for a link that does not exist: " + l.String())
+	}
+	return fmt.Sprintf("link.N%d->N%d", int(l.From), int(m.ID(to)))
+}
+
+// NewNetProbes registers the network probe set on reg, with every name
+// prefixed by prefix, and returns the bundle.
+func NewNetProbes(reg *Registry, m mesh.Mesh, prefix string) *NetProbes {
+	np := &NetProbes{}
+	for c := range np.LinkFlits {
+		np.LinkFlits[c] = make([]*Counter, m.NumLinkSlots())
+	}
+	for _, l := range m.Links() {
+		stem := prefix + LinkName(m, l)
+		idx := m.LinkIndex(l)
+		for c := packet.Class(0); c < packet.NumClasses; c++ {
+			np.LinkFlits[c][idx] = reg.Counter(fmt.Sprintf("%s.%s.flits", stem, c))
+		}
+	}
+	np.InjFlits = make([]*Counter, m.NumNodes())
+	np.EjFlits = make([]*Counter, m.NumNodes())
+	for id := 0; id < m.NumNodes(); id++ {
+		np.InjFlits[id] = reg.Counter(fmt.Sprintf("%snode.%d.injected.flits", prefix, id))
+		np.EjFlits[id] = reg.Counter(fmt.Sprintf("%snode.%d.ejected.flits", prefix, id))
+	}
+	np.StallCredit = reg.Counter(prefix + "net.stall.credit")
+	np.StallRoute = reg.Counter(prefix + "net.stall.route")
+	np.StallVCAlloc = reg.Counter(prefix + "net.stall.vcalloc")
+	bounds := DefaultLatencyBounds()
+	for tx := 0; tx < numTx; tx++ {
+		for seg := Segment(0); seg < NumSegments; seg++ {
+			np.lat[tx][seg] = reg.Histogram(
+				fmt.Sprintf("%slatency.%s.%s", prefix, txNames[tx], seg), bounds)
+		}
+	}
+	return np
+}
+
+// PacketEjected records per-packet telemetry at tail ejection. For replies
+// carrying request-phase timestamps (stamped by the MC) it accumulates the
+// four-segment latency decomposition into the class histograms.
+func (np *NetProbes) PacketEjected(p *packet.Packet, cycle int64) {
+	if p.Class() != packet.Reply || !p.ReqTimed {
+		return
+	}
+	tx := txWrite
+	if p.Type == packet.ReadReply {
+		tx = txRead
+	}
+	np.lat[tx][SegSrcQueue].Observe(p.ReqInjectedAt - p.ReqCreatedAt)
+	np.lat[tx][SegReqNet].Observe(p.ReqEjectedAt - p.ReqInjectedAt)
+	np.lat[tx][SegMCService].Observe(p.InjectedAt - p.ReqEjectedAt)
+	np.lat[tx][SegReplyNet].Observe(cycle - p.InjectedAt)
+}
+
+// LatencyHistogram returns the decomposition histogram for one transaction
+// kind ("read" or "write") and segment; nil for unknown kinds.
+func (np *NetProbes) LatencyHistogram(kind string, seg Segment) *Histogram {
+	for tx, n := range txNames {
+		if n == kind {
+			return np.lat[tx][seg]
+		}
+	}
+	return nil
+}

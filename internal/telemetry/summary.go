@@ -1,0 +1,111 @@
+package telemetry
+
+import (
+	"strings"
+
+	"gpgpunoc/internal/packet"
+)
+
+// LatencySegmentStat condenses one latency-decomposition histogram, merged
+// across subnets.
+type LatencySegmentStat struct {
+	Kind    string // "read" or "write"
+	Segment string // "srcqueue", "reqnet", "mcservice", "replynet"
+	Count   int64
+	Mean    float64
+	Max     int64
+}
+
+// Summary condenses a telemetry run into the aggregates the paper's traffic
+// characterization is built on, computed from probes alone.
+type Summary struct {
+	Cycles int64
+
+	// LinkFlits totals flit traversals over every inter-router link by
+	// class — the Figure 2 request/reply asymmetry, measured on the wires.
+	LinkFlits [packet.NumClasses]int64
+	// InjectedFlits / EjectedFlits total fabric entry/exit flits.
+	InjectedFlits, EjectedFlits int64
+	// Stall attributions summed across the run.
+	CreditStalls, RouteStalls, VCAllocStalls int64
+	// Latency lists the per-segment decomposition stats in a fixed order
+	// (read then write, segments in pipeline order), skipping empty ones.
+	Latency []LatencySegmentStat
+}
+
+// ReplyRequestRatio returns reply link flits over request link flits — the
+// paper's headline ~2x asymmetry (Figure 2) — or 0 with no request traffic.
+func (s Summary) ReplyRequestRatio() float64 {
+	if s.LinkFlits[packet.Request] == 0 {
+		return 0
+	}
+	return float64(s.LinkFlits[packet.Reply]) / float64(s.LinkFlits[packet.Request])
+}
+
+// Summarize folds the registry's current probe values into a Summary. It
+// classifies probes by the naming scheme, so it works unchanged for single
+// and dual fabrics (subnet prefixes merge into the same totals).
+func (t *Telemetry) Summarize() Summary {
+	s := Summary{Cycles: t.LastCycle()}
+	t.Reg.EachScalar(func(name string, _ Kind, v int64) {
+		switch {
+		case strings.Contains(name, "link.N") && strings.HasSuffix(name, ".request.flits"):
+			s.LinkFlits[packet.Request] += v
+		case strings.Contains(name, "link.N") && strings.HasSuffix(name, ".reply.flits"):
+			s.LinkFlits[packet.Reply] += v
+		case strings.HasSuffix(name, ".injected.flits"):
+			s.InjectedFlits += v
+		case strings.HasSuffix(name, ".ejected.flits"):
+			s.EjectedFlits += v
+		case strings.HasSuffix(name, "net.stall.credit"):
+			s.CreditStalls += v
+		case strings.HasSuffix(name, "net.stall.route"):
+			s.RouteStalls += v
+		case strings.HasSuffix(name, "net.stall.vcalloc"):
+			s.VCAllocStalls += v
+		}
+	})
+
+	// Merge latency histograms across subnets by (kind, segment).
+	var count, sum, max [numTx][NumSegments]int64
+	t.Reg.EachHistogram(func(name string, h *Histogram) {
+		i := strings.Index(name, "latency.")
+		if i < 0 || h.Count() == 0 {
+			return
+		}
+		parts := strings.Split(name[i+len("latency."):], ".")
+		if len(parts) != 2 {
+			return
+		}
+		for tx, tn := range txNames {
+			if tn != parts[0] {
+				continue
+			}
+			for seg := Segment(0); seg < NumSegments; seg++ {
+				if seg.String() != parts[1] {
+					continue
+				}
+				count[tx][seg] += h.Count()
+				sum[tx][seg] += h.Sum()
+				if h.Max() > max[tx][seg] {
+					max[tx][seg] = h.Max()
+				}
+			}
+		}
+	})
+	for tx := 0; tx < numTx; tx++ {
+		for seg := Segment(0); seg < NumSegments; seg++ {
+			if count[tx][seg] == 0 {
+				continue
+			}
+			s.Latency = append(s.Latency, LatencySegmentStat{
+				Kind:    txNames[tx],
+				Segment: seg.String(),
+				Count:   count[tx][seg],
+				Mean:    float64(sum[tx][seg]) / float64(count[tx][seg]),
+				Max:     max[tx][seg],
+			})
+		}
+	}
+	return s
+}

@@ -1,0 +1,62 @@
+package telemetry
+
+// Sample is one epoch snapshot: every scalar probe's value at the end of the
+// named cycle, aligned with Registry.ScalarNames.
+type Sample struct {
+	Cycle  int64
+	Values []int64
+}
+
+// Telemetry owns one simulation's registry and its epoch time-series. The
+// run loop calls MaybeSample every cycle; a snapshot is taken when the cycle
+// count crosses an epoch boundary, so the series grows by one Sample per
+// EpochLen cycles regardless of how the loop is structured.
+type Telemetry struct {
+	Reg      *Registry
+	EpochLen int64
+
+	samples []Sample
+	last    int64 // cycle of the most recent sample, -1 before the first
+}
+
+// New returns a telemetry instance sampling every epochLen cycles. It panics
+// on a non-positive epoch: an epoch of zero would snapshot every cycle into
+// unbounded memory, which is never what a caller wants.
+func New(epochLen int64) *Telemetry {
+	if epochLen <= 0 {
+		panic("telemetry: epoch length must be positive")
+	}
+	return &Telemetry{Reg: NewRegistry(), EpochLen: epochLen, last: -1}
+}
+
+// MaybeSample snapshots the registry when cycle is an epoch boundary
+// (cycle % EpochLen == 0) past the last sample — the series stays strictly
+// monotonic in cycle. Call it once per simulated cycle; off-boundary calls
+// cost two compares.
+func (t *Telemetry) MaybeSample(cycle int64) {
+	if cycle%t.EpochLen != 0 || cycle <= t.last {
+		return
+	}
+	t.sample(cycle)
+}
+
+// Flush takes a final snapshot at cycle unless the series already reaches
+// it, so the series always ends with the run's closing state even when the
+// run length is not a multiple of the epoch.
+func (t *Telemetry) Flush(cycle int64) {
+	if cycle <= t.last {
+		return
+	}
+	t.sample(cycle)
+}
+
+func (t *Telemetry) sample(cycle int64) {
+	t.samples = append(t.samples, Sample{Cycle: cycle, Values: t.Reg.Snapshot()})
+	t.last = cycle
+}
+
+// Samples returns the collected time-series in sampling order.
+func (t *Telemetry) Samples() []Sample { return t.samples }
+
+// LastCycle returns the cycle of the most recent sample, or -1.
+func (t *Telemetry) LastCycle() int64 { return t.last }

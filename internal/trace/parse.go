@@ -18,10 +18,10 @@ func ParseCSV(r io.Reader) (*Collector, error) {
 	cr.FieldsPerRecord = 9
 	header, err := cr.Read()
 	if err != nil {
-		return nil, fmt.Errorf("trace: reading header: %w", err)
+		return nil, fmt.Errorf("trace: line 1: reading header: %w", err)
 	}
 	if header[0] != "cycle" || header[1] != "event" {
-		return nil, fmt.Errorf("trace: unexpected header %v", header)
+		return nil, fmt.Errorf("trace: line 1: unexpected header %v", header)
 	}
 	kinds := map[string]Kind{"inject": Injected, "hop": Hop, "eject": Ejected}
 	types := map[string]packet.Type{}
@@ -45,6 +45,9 @@ func ParseCSV(r io.Reader) (*Collector, error) {
 		e := Event{}
 		if e.Cycle, err = strconv.ParseInt(rec[0], 10, 64); err != nil {
 			return nil, fmt.Errorf("trace: line %d cycle: %w", line, err)
+		}
+		if e.Cycle < 0 {
+			return nil, fmt.Errorf("trace: line %d: negative cycle %d", line, e.Cycle)
 		}
 		kind, ok := kinds[rec[1]]
 		if !ok {

@@ -218,15 +218,30 @@ func TestParseCSVRoundTrip(t *testing.T) {
 }
 
 func TestParseCSVErrors(t *testing.T) {
-	for name, in := range map[string]string{
-		"empty":      "",
-		"bad header": "a,b,c,d,e,f,g,h,i\n",
-		"bad kind":   "cycle,event,packet,type,src,dst,seq,link_from,link_dir\n1,zap,1,READ-REQUEST,0,1,0,,\n",
-		"bad cycle":  "cycle,event,packet,type,src,dst,seq,link_from,link_dir\nx,inject,1,READ-REQUEST,0,1,0,,\n",
-		"bad type":   "cycle,event,packet,type,src,dst,seq,link_from,link_dir\n1,inject,1,BANANA,0,1,0,,\n",
+	const hdr = "cycle,event,packet,type,src,dst,seq,link_from,link_dir\n"
+	for name, tc := range map[string]struct {
+		in   string
+		want string // substring the error must carry (line number and cause)
+	}{
+		"empty":          {"", "line 1"},
+		"bad header":     {"a,b,c,d,e,f,g,h,i\n", "line 1"},
+		"bad kind":       {hdr + "1,zap,1,READ-REQUEST,0,1,0,,\n", `line 2: unknown event "zap"`},
+		"bad cycle":      {hdr + "x,inject,1,READ-REQUEST,0,1,0,,\n", "line 2 cycle"},
+		"negative cycle": {hdr + "-7,inject,1,READ-REQUEST,0,1,0,,\n", "line 2: negative cycle -7"},
+		"bad type":       {hdr + "1,inject,1,BANANA,0,1,0,,\n", `line 2: unknown type "BANANA"`},
+		"bad src":        {hdr + "1,inject,1,READ-REQUEST,zz,1,0,,\n", "line 2 src"},
+		"bad direction":  {hdr + "1,hop,1,READ-REQUEST,0,1,0,0,Q\n", `line 2: unknown direction "Q"`},
+		"short record":   {hdr + "1,inject,1\n", "line 2"},
+		"third line": {hdr + "1,inject,1,READ-REQUEST,0,1,0,,\n" +
+			"2,eject,1,BANANA,0,1,0,,\n", "line 3"},
 	} {
-		if _, err := ParseCSV(strings.NewReader(in)); err == nil {
+		_, err := ParseCSV(strings.NewReader(tc.in))
+		if err == nil {
 			t.Errorf("%s: accepted", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", name, err, tc.want)
 		}
 	}
 }
