@@ -2,7 +2,10 @@ GO ?= go
 SMOKE_OUT := $(shell mktemp -u /tmp/sweep-smoke.XXXXXX.jsonl)
 TELEMETRY_DEMO_OUT ?= telemetry-demo
 
-.PHONY: check lint vet build test race smoke bench-smoke telemetry-demo clean
+PROFILE_OUT ?= profiles
+BENCH_JSON ?= BENCH_PR4.json
+
+.PHONY: check lint vet build test race smoke bench-smoke telemetry-demo profile bench-json clean
 
 # check is the full pre-merge gate: static analysis, build, race-enabled
 # tests, an end-to-end smoke sweep through cmd/sweep, and a one-iteration
@@ -47,6 +50,27 @@ telemetry-demo:
 	$(GO) run ./cmd/nocsim -bench KMN -placement diamond \
 		-telemetry-epoch 1000 -telemetry-out $(TELEMETRY_DEMO_OUT)/diamond
 	@echo "artifacts in $(TELEMETRY_DEMO_OUT)/{bottom,diamond}/{series.jsonl,heatmap.csv,trace.json}"
+
+# bench-json measures the headline cycle-kernel benchmarks — full-GPU cycle
+# under the active-set and reference steppers, plus the saturated router
+# step — as 8 fixed-iteration runs each, and writes the min/median/max
+# summary to $(BENCH_JSON) via cmd/benchjson. Fixed iterations + medians
+# make the file meaningful to diff between commits on the same machine.
+bench-json:
+	$(GO) test -run '^$$' \
+		-bench '^(BenchmarkGPUCycle|BenchmarkGPUCycleReference|BenchmarkRouterStep)$$' \
+		-benchtime 20000x -count 8 . | $(GO) run ./cmd/benchjson -out $(BENCH_JSON)
+	@echo "wrote $(BENCH_JSON)"
+
+# profile captures CPU and allocation profiles of a representative run:
+# one full-GPU simulation on the heaviest benchmark. Inspect with
+#   go tool pprof -top $(PROFILE_OUT)/nocsim.cpu
+# (see README "Profiling" for how to read them against the cycle kernel).
+profile:
+	@mkdir -p $(PROFILE_OUT)
+	$(GO) run ./cmd/nocsim -bench KMN -cycles 200000 \
+		-cpuprofile $(PROFILE_OUT)/nocsim.cpu -memprofile $(PROFILE_OUT)/nocsim.mem >/dev/null
+	@echo "profiles in $(PROFILE_OUT)/nocsim.{cpu,mem}"
 
 clean:
 	$(GO) clean ./...

@@ -356,6 +356,23 @@ func BenchmarkGPUCycle(b *testing.B) {
 	}
 }
 
+// BenchmarkGPUCycleReference runs the same full-system cycle path under the
+// naive scan-everything reference stepper. The ratio against
+// BenchmarkGPUCycle is the measured win of the event-sparse active-set
+// kernel (DESIGN.md §9); results are bit-identical (equivalence_test.go).
+func BenchmarkGPUCycleReference(b *testing.B) {
+	cfg := config.Default()
+	cfg.NoC.ReferenceStepper = true
+	sim, err := gpu.New(cfg, workload.MustGet("KMN"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Step()
+	}
+}
+
 // BenchmarkGPUCycleTelemetry measures the same full-system cycle path with
 // the telemetry subsystem attached. Compared against BenchmarkGPUCycle it
 // bounds the instrumented overhead; the disabled path (no AttachTelemetry)

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: gpgpunoc
+cpu: Imaginary CPU @ 2.40GHz
+BenchmarkRouterStep-8   	   20000	     25000 ns/op	       0 B/op	       0 allocs/op
+BenchmarkRouterStep-8   	   20000	     21000 ns/op	       0 B/op	       0 allocs/op
+BenchmarkRouterStep-8   	   20000	     23000 ns/op	       0 B/op	       0 allocs/op
+BenchmarkGPUCycle-8     	   20000	     19000 ns/op
+BenchmarkGPUCycle-8     	   20000	     18600 ns/op
+PASS
+ok  	gpgpunoc	12.071s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(bufio.NewScanner(strings.NewReader(sample)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.Pkg != "gpgpunoc" {
+		t.Errorf("context lines lost: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("got %d benchmarks, want 2", len(rep.Benchmarks))
+	}
+	// Sorted by name: GPUCycle before RouterStep.
+	gc, rs := rep.Benchmarks[0], rep.Benchmarks[1]
+	if gc.Name != "BenchmarkGPUCycle-8" || rs.Name != "BenchmarkRouterStep-8" {
+		t.Fatalf("order/name wrong: %q, %q", gc.Name, rs.Name)
+	}
+	if gc.Iterations != 20000 {
+		t.Errorf("iterations = %d, want 20000", gc.Iterations)
+	}
+	if len(gc.Metrics) != 1 || gc.Metrics[0].Unit != "ns/op" {
+		t.Fatalf("GPUCycle metrics = %+v", gc.Metrics)
+	}
+	if m := gc.Metrics[0]; m.Runs != 2 || m.Min != 18600 || m.Max != 19000 || m.Median != 18800 {
+		t.Errorf("even-run stats wrong: %+v", m)
+	}
+	if len(rs.Metrics) != 3 {
+		t.Fatalf("RouterStep metrics = %+v", rs.Metrics)
+	}
+	if m := rs.Metrics[0]; m.Unit != "ns/op" || m.Runs != 3 || m.Median != 23000 || m.Min != 21000 || m.Max != 25000 {
+		t.Errorf("odd-run stats wrong: %+v", m)
+	}
+	if rs.Metrics[1].Unit != "B/op" || rs.Metrics[2].Unit != "allocs/op" {
+		t.Errorf("unit order not preserved: %+v", rs.Metrics)
+	}
+}
+
+func TestParseSkipsNoise(t *testing.T) {
+	in := `Benchmark log line that is not a result
+BenchmarkX-4	notanumber	10 ns/op
+BenchmarkY-4	100	42 ns/op
+`
+	rep, err := parse(bufio.NewScanner(strings.NewReader(in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 1 || rep.Benchmarks[0].Name != "BenchmarkY-4" {
+		t.Fatalf("noise not skipped: %+v", rep.Benchmarks)
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"gpgpunoc/internal/mesh"
 	"gpgpunoc/internal/noc"
 	"gpgpunoc/internal/packet"
+	"gpgpunoc/internal/profiling"
 	"gpgpunoc/internal/telemetry"
 	"gpgpunoc/internal/trace"
 	"gpgpunoc/internal/workload"
@@ -38,6 +39,9 @@ func main() {
 
 		telEpoch = flag.Int64("telemetry-epoch", 0, "sample cycle-domain telemetry every N cycles (0 = off)")
 		telOut   = flag.String("telemetry-out", "telemetry", "directory for telemetry artifacts (series.jsonl, heatmap.csv, trace.json)")
+
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
 	// All simulation-configuration flags (-config, -placement, -routing,
 	// -vcpolicy, -vcs, -depth, -cycles, -seed, -allow-unsafe, ...) come
@@ -51,15 +55,32 @@ func main() {
 		os.Exit(1)
 	}
 
-	prof, err := workload.Get(*bench)
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	// Profiles must land on every exit path, including the error exits
+	// below, so route all of them through one exit helper.
+	exit := func(code int) {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			if code == 0 {
+				code = 1
+			}
+		}
+		os.Exit(code)
+	}
+
+	prof, err := workload.Get(*bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		exit(1)
+	}
 	sim, err := gpu.New(cfg, prof)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		exit(1)
 	}
 	sim.SanitizeEvery = *sanitize
 	if *telEpoch > 0 {
@@ -70,12 +91,12 @@ func main() {
 		net, ok := sim.Net.(*noc.Network)
 		if !ok {
 			fmt.Fprintln(os.Stderr, "tracing is not supported with -dual")
-			os.Exit(1)
+			exit(1)
 		}
 		f, err := os.Create(*traceCSV)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			exit(1)
 		}
 		cw := trace.NewCSVWriter(f)
 		net.SetTracer(cw)
@@ -90,7 +111,7 @@ func main() {
 	if traceFlush != nil {
 		if err := traceFlush(); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			exit(1)
 		}
 	}
 	if runErr != nil {
@@ -102,7 +123,7 @@ func main() {
 		m := mesh.New(cfg.NoC.Width, cfg.NoC.Height)
 		if err := writeTelemetry(res, m, *telOut); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			exit(1)
 		}
 		sum := res.Tel.Summarize()
 		fmt.Printf("telemetry: %s/{series.jsonl,heatmap.csv,trace.json}  reply:request link flits %.2f (%d:%d)\n\n",
@@ -117,24 +138,25 @@ func main() {
 		f, err := os.Create(*linkCSV)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			exit(1)
 		}
 		if err := res.Net.WriteLinkCSV(f); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			exit(1)
 		}
 		if err := f.Close(); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			exit(1)
 		}
 	}
 	if res.Deadlocked {
 		fmt.Println("\nthe configuration protocol-deadlocked; run with a safe VC policy (split/asymmetric/partial)")
-		os.Exit(2)
+		exit(2)
 	}
 	if runErr != nil {
-		os.Exit(1)
+		exit(1)
 	}
+	exit(0)
 }
 
 // writeTelemetry exports the instrumented run's three artifacts into dir:

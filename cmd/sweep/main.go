@@ -24,6 +24,7 @@ import (
 
 	"gpgpunoc/internal/config"
 	"gpgpunoc/internal/gpu"
+	"gpgpunoc/internal/profiling"
 	"gpgpunoc/internal/sweep"
 	"gpgpunoc/internal/workload"
 )
@@ -42,6 +43,9 @@ func main() {
 
 		telEpoch = flag.Int64("telemetry-epoch", 0, "sample cycle-domain telemetry every N cycles (0 = off)")
 		telDir   = flag.String("telemetry-dir", "", "directory for per-job telemetry artifacts (default: <out>.telemetry)")
+
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 
 		benchmarks = flag.String("benchmarks", "", "comma-separated benchmarks ("+strings.Join(workload.Names(), ",")+"); default all")
 		placements = flag.String("placements", "", "comma-separated placement grid (default: base placement)")
@@ -127,6 +131,11 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fatal(err)
+	}
+
 	start := time.Now()
 	outs, runErr := sweep.Run(ctx, jobs, sink, opts)
 	summary := sweep.Summarize(outs)
@@ -139,6 +148,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "sweep finished in %.1fs: %s\n", time.Since(start).Seconds(), summary)
 	}
 	fmt.Printf("results: %s (%d records this run)\n", *out, summary.OK+summary.Failed)
+	// Flush profiles before any exit: a failed sweep is exactly when the
+	// profile is most wanted.
+	if perr := stopProf(); perr != nil && runErr == nil {
+		runErr = perr
+	}
 	if runErr != nil {
 		fatal(runErr)
 	}

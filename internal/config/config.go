@@ -79,6 +79,10 @@ type NoC struct {
 	// flit per two cycles), holding the total wire budget equal to the
 	// single network instead of doubling it.
 	SubnetHalfWidth bool
+	// ReferenceStepper selects the naive full-scan cycle kernel instead of
+	// the event-sparse active-set kernel. Results are bit-identical; the
+	// flag exists for equivalence testing and performance triage.
+	ReferenceStepper bool
 }
 
 // Mem is the memory-system configuration.

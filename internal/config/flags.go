@@ -20,6 +20,7 @@ type Overrides struct {
 	AsymmetricRequestVCs *int
 	PhysicalSubnets      *bool
 	SubnetHalfWidth      *bool
+	ReferenceStepper     *bool
 	WarmupCycles         *int
 	MeasureCycles        *int
 	Seed                 *uint64
@@ -51,6 +52,9 @@ func (o Overrides) Apply(base Config) Config {
 	}
 	if o.SubnetHalfWidth != nil {
 		base.NoC.SubnetHalfWidth = *o.SubnetHalfWidth
+	}
+	if o.ReferenceStepper != nil {
+		base.NoC.ReferenceStepper = *o.ReferenceStepper
 	}
 	if o.WarmupCycles != nil {
 		base.WarmupCycles = *o.WarmupCycles
@@ -85,6 +89,7 @@ type Flags struct {
 	seed      uint64
 	dual      bool
 	halfwidth bool
+	refstep   bool
 	unsafe    bool
 }
 
@@ -106,6 +111,7 @@ func BindFlags(fs *flag.FlagSet) *Flags {
 	fs.Uint64Var(&f.seed, "seed", d.Seed, "random seed")
 	fs.BoolVar(&f.dual, "dual", false, "use two physical subnetworks instead of VC separation")
 	fs.BoolVar(&f.halfwidth, "halfwidth", false, "with -dual, give each subnet half-width channels (equal wire budget)")
+	fs.BoolVar(&f.refstep, "reference-stepper", false, "use the naive full-scan cycle kernel (bit-identical, slower; for equivalence testing)")
 	fs.BoolVar(&f.unsafe, "allow-unsafe", false, "accept configurations the protocol-deadlock analysis rejects")
 	return f
 }
@@ -144,6 +150,8 @@ func (f *Flags) Overrides() Overrides {
 			o.PhysicalSubnets = &f.dual
 		case "halfwidth":
 			o.SubnetHalfWidth = &f.halfwidth
+		case "reference-stepper":
+			o.ReferenceStepper = &f.refstep
 		case "allow-unsafe":
 			o.AllowUnsafe = &f.unsafe
 		}

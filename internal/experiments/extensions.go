@@ -1,11 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"gpgpunoc/internal/config"
 	"gpgpunoc/internal/core"
+	"gpgpunoc/internal/gpu"
 	"gpgpunoc/internal/packet"
+	"gpgpunoc/internal/sweep"
 	"gpgpunoc/internal/synthetic"
 )
 
@@ -13,6 +16,11 @@ import (
 // latency/throughput curves from the synthetic harness, per routing
 // algorithm on the bottom placement. It exposes where each design
 // saturates — the mechanism behind the Figure 7 and 8 speedups.
+//
+// Every (rate, variant) cell is an independent deterministic simulation, so
+// the cells run on the sweep engine's worker pool — a custom RunFunc wraps
+// the synthetic harness — and the table is assembled in fixed rate×variant
+// order afterwards, byte-identical at any worker count.
 func Sweep(o Opts) (*Table, error) {
 	rates := []float64{0.01, 0.02, 0.05, 0.10, 0.15, 0.20, 0.30, 0.40}
 	type variant struct {
@@ -38,27 +46,64 @@ func Sweep(o Opts) (*Table, error) {
 	if o.MeasureCycles > 0 {
 		meas = o.MeasureCycles
 	}
+
+	key := func(rate float64, label string) string {
+		return fmt.Sprintf("%.2f/%s", rate, label)
+	}
+	params := make(map[string]synthetic.Params, len(rates)*len(variants))
+	jobs := make([]sweep.Job, 0, len(rates)*len(variants))
 	for _, rate := range rates {
-		row := []string{fmt.Sprintf("%.2f", rate)}
 		for _, v := range variants {
 			p := synthetic.DefaultParams()
+			// Layer explicit overrides first; the variant's scheme-controlled
+			// dimensions win, like the figure runners.
+			p.NoC = o.Overrides.Apply(config.Config{NoC: p.NoC}).NoC
 			p.NoC.Routing = v.rt
 			p.NoC.VCPolicy = v.pol
 			p.InjectionRate = rate
 			if o.Seed != 0 {
 				p.Seed = o.Seed
 			}
-			h, err := synthetic.New(p)
-			if err != nil {
-				return nil, err
+			k := key(rate, v.label)
+			params[k] = p
+			jobs = append(jobs, sweep.Job{Key: k, Benchmark: "synthetic", Cfg: config.Config{NoC: p.NoC}})
+		}
+	}
+	// The params map is read-only once the pool starts; workers only look
+	// their own cell up by key.
+	run := func(_ context.Context, j sweep.Job) (gpu.Result, error) {
+		h, err := synthetic.New(params[j.Key])
+		if err != nil {
+			return gpu.Result{}, err
+		}
+		st, dead := h.Run(1500, meas)
+		return gpu.Result{Benchmark: j.Benchmark, Cycles: st.Cycles, Deadlocked: dead, Net: st}, nil
+	}
+	outs, err := sweep.Run(context.Background(), jobs, nil, sweep.Options{Workers: o.Parallel, Run: run})
+	if err != nil {
+		return nil, err
+	}
+	results := make(map[string]*gpu.Result, len(outs))
+	for i := range outs {
+		if outs[i].Err != nil {
+			return nil, fmt.Errorf("%s: %w", outs[i].Job.Key, outs[i].Err)
+		}
+		results[outs[i].Job.Key] = outs[i].Res
+	}
+
+	for _, rate := range rates {
+		row := []string{fmt.Sprintf("%.2f", rate)}
+		for _, v := range variants {
+			r := results[key(rate, v.label)]
+			if r == nil {
+				return nil, fmt.Errorf("sweep cell %s missing", key(rate, v.label))
 			}
-			st, dead := h.Run(1500, meas)
-			if dead {
+			if r.Deadlocked {
 				row = append(row, "DEADLOCK")
 				continue
 			}
 			row = append(row, fmt.Sprintf("%.2f (%.0f)",
-				st.Throughput(), st.NetLatency[packet.Reply].Mean()))
+				r.Net.Throughput(), r.Net.NetLatency[packet.Reply].Mean()))
 		}
 		t.Rows = append(t.Rows, row)
 	}
@@ -69,7 +114,9 @@ func Sweep(o Opts) (*Table, error) {
 
 // Scaling is an extension experiment: does the proposed design's advantage
 // survive at other mesh sizes? Bottom placement with N MCs on an NxN mesh,
-// N^2-N SMs, baseline vs the proposed bottom+YX+FM design.
+// N^2-N SMs, baseline vs the proposed bottom+YX+FM design. All cells across
+// every mesh size go to the worker pool as one batch, so the large 10x10
+// runs overlap the small ones instead of each size draining serially.
 func Scaling(o Opts) (*Table, error) {
 	benchmarks := o.Benchmarks
 	if len(benchmarks) == 0 {
@@ -82,6 +129,7 @@ func Scaling(o Opts) (*Table, error) {
 		Title:   "Proposed design speedup vs baseline across mesh sizes (bottom placement)",
 		Columns: []string{"Mesh", "SMs", "MCs", "Baseline IPC (gm)", "Proposed IPC (gm)", "Speedup"},
 	}
+	var jobs []job
 	for _, n := range sizes {
 		mk := func(s core.Scheme) config.Config {
 			cfg := o.apply(config.Default())
@@ -90,20 +138,21 @@ func Scaling(o Opts) (*Table, error) {
 			cfg.Core.NumSMs = n*n - n
 			return s.Apply(cfg)
 		}
-		var jobs []job
 		for _, b := range benchmarks {
 			jobs = append(jobs,
-				job{key: b + "/base", bench: b, cfg: mk(core.Baseline)},
-				job{key: b + "/best", bench: b, cfg: mk(core.BestProposed)})
+				job{key: fmt.Sprintf("%d/%s/base", n, b), bench: b, cfg: mk(core.Baseline)},
+				job{key: fmt.Sprintf("%d/%s/best", n, b), bench: b, cfg: mk(core.BestProposed)})
 		}
-		results, err := runAll(jobs, o.Parallel)
-		if err != nil {
-			return nil, err
-		}
+	}
+	results, err := runAll(jobs, o.Parallel)
+	if err != nil {
+		return nil, err
+	}
+	for _, n := range sizes {
 		var base, best []float64
 		for _, b := range benchmarks {
-			base = append(base, results[b+"/base"].IPC)
-			best = append(best, results[b+"/best"].IPC)
+			base = append(base, results[fmt.Sprintf("%d/%s/base", n, b)].IPC)
+			best = append(best, results[fmt.Sprintf("%d/%s/best", n, b)].IPC)
 		}
 		gb, gp := geomean(base), geomean(best)
 		t.Rows = append(t.Rows, []string{

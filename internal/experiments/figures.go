@@ -226,10 +226,12 @@ func Fig8(o Opts) (*Table, error) {
 	return t, nil
 }
 
-// fig9Schemes are the eight Figure 9 configurations: each placement with XY
+// Fig9Schemes are the eight Figure 9 configurations: each placement with XY
 // + split VCs, and each placement with its best routing plus (partial/full)
-// monopolizing.
-func fig9Schemes() []core.Scheme {
+// monopolizing. Exported because they span the whole design space (every
+// placement, routing, and VC policy family), which makes them the coverage
+// set for the stepper-equivalence suite.
+func Fig9Schemes() []core.Scheme {
 	return []core.Scheme{
 		core.Baseline, // Bottom (XY) — the normalization base
 		{Label: "Edge (XY)", Placement: config.PlacementEdge, Routing: config.RoutingXY, VCPolicy: config.VCSplit},
@@ -246,7 +248,7 @@ func fig9Schemes() []core.Scheme {
 // without monopolizing, normalized to bottom+XY. The paper's headline:
 // Bottom (YX FM) reaches 1.894 and beats the best distributed placement.
 func Fig9(o Opts) (*Table, error) {
-	schemes := fig9Schemes()
+	schemes := Fig9Schemes()
 	ipc, err := runSchemes(o, config.Default(), schemes)
 	if err != nil {
 		return nil, err

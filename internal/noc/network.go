@@ -9,10 +9,26 @@
 // backpressure — finite VC buffers, finite injection queues, sinks that
 // refuse flits — is modelled, which is what makes protocol deadlock a real,
 // demonstrable phenomenon rather than an abstraction.
+//
+// The cycle kernel is event-sparse: Step walks an active set of routers
+// (those holding buffered flits or occupied link registers) and an active
+// set of injecting nodes, not the whole mesh. GPGPU NoC traffic is bursty
+// and concentrated on the MC rows, so most routers on most cycles have
+// nothing to do; the active set makes those routers free. The activity
+// invariant — a router with any buffered flit, valid output register, or
+// nonempty injection queue is always scheduled — is maintained by waking a
+// router on every event that hands it work (a flit pushed into one of its
+// buffers, a packet queued for injection) and only retiring it once both
+// counters reach zero. A naive full-scan stepper is retained behind
+// WithReferenceStepper (config: NoC.ReferenceStepper) and must produce
+// bit-identical results; both steppers share every phase helper and iterate
+// routers in ascending ID order, which pins the floating-point statistics
+// accumulation order.
 package noc
 
 import (
 	"fmt"
+	"slices"
 
 	"gpgpunoc/internal/config"
 	"gpgpunoc/internal/mesh"
@@ -77,30 +93,43 @@ type Interconnect interface {
 	AttachTelemetry(reg *telemetry.Registry)
 }
 
-// injQueue is a node's bounded injection FIFO, in flits.
+// injQueue is a node's bounded injection FIFO, in flits. Consumption
+// advances a head index instead of re-slicing pkts, so the backing array is
+// reused in steady state: Inject compacts the live tail down only when the
+// array is full, and the slot of a consumed packet is nilled immediately so
+// it does not pin the packet for the arena's lifetime.
 type injQueue struct {
-	pkts  []*packet.Packet // packets not yet fully injected
-	sent  int              // flits of pkts[0] already pushed into the router
+	pkts  []*packet.Packet // packets not yet fully injected, live from head
+	head  int              // index of the front packet in pkts
+	sent  int              // flits of the front packet already pushed into the router
 	flits int              // total flits queued (for capacity accounting)
 	cap   int
 	vc    int // local input VC receiving the current packet
 }
 
-// creditReturn defers a credit increment to the end of the cycle, modelling
-// a one-cycle credit loop uniformly regardless of router iteration order.
-type creditReturn struct {
-	node mesh.NodeID
-	dir  mesh.Direction // output port direction at the upstream router
-	vc   int
+func (q *injQueue) empty() bool { return q.head == len(q.pkts) }
+
+func (q *injQueue) popFront() {
+	q.pkts[q.head] = nil
+	q.head++
+	if q.head == len(q.pkts) {
+		q.pkts = q.pkts[:0]
+		q.head = 0
+	}
 }
+
+// routeTabMaxNodes bounds the dense route-table precompute (NumClasses ×
+// N² bytes); beyond it RC falls back to the algorithm call.
+const routeTabMaxNodes = 1024
 
 // Network is a single physical mesh NoC.
 type Network struct {
-	m     mesh.Mesh
-	alg   routing.Algorithm
-	pol   vc.Assigner
-	vcs   int
-	depth int
+	m        mesh.Mesh
+	alg      routing.Algorithm
+	pol      vc.Assigner
+	vcs      int
+	depth    int
+	numNodes int
 
 	// pipeDelay is the minimum number of cycles between a flit's arrival in
 	// an input buffer and its switch traversal; 2 models the paper's
@@ -112,12 +141,37 @@ type Network struct {
 	// full-width channel; 2 models the half-width channels of an
 	// equal-resource physical subnet (Section 4.2).
 	linkPeriod int64
+	// reference selects the naive full-scan stepper instead of the
+	// active-set kernel; results must be bit-identical.
+	reference bool
 
 	routers []router
 	inj     []injQueue
 	sinks   []Sink
 
-	credits []creditReturn // scratch, reused each cycle
+	// Active sets: dense ID lists plus membership marks. active holds
+	// routers with buffered flits or occupied link registers; injActive
+	// holds nodes with queued injection packets. Both are sorted ascending
+	// at the top of Step so iteration order matches the reference full
+	// scan, and compacted at the end of Step when the work drains.
+	active    []int32
+	activeIn  []bool
+	injActive []int32
+	injIn     []bool
+
+	// creditDirty lists output ports with credits returned this cycle
+	// (accumulated in outPort.pending); the credit phase drains it. This
+	// replaces a per-credit event list: returns to the same (port, VC) in
+	// one cycle collapse into a tally.
+	creditDirty []*outPort
+
+	// routeTab caches the routing algorithm per (class, current, dest):
+	// NextHop is a pure function of those three, so RC becomes one array
+	// load instead of an interface call. nil when the mesh exceeds
+	// routeTabMaxNodes.
+	routeTab [packet.NumClasses][]uint8
+	// injRng caches the injection VC range per (node, class).
+	injRng [][packet.NumClasses]vc.Range
 
 	stats    *stats.Net
 	tracer   Tracer
@@ -160,6 +214,15 @@ func WithInjectionQueue(flits int) Option {
 	}
 }
 
+// WithReferenceStepper selects the naive stepper that scans every router
+// and every node each cycle. It exists to validate the active-set kernel:
+// the two must produce bit-identical statistics, telemetry, and cycle
+// counts for any workload. Config files and CLIs reach it through
+// NoC.ReferenceStepper.
+func WithReferenceStepper() Option {
+	return func(n *Network) { n.reference = true }
+}
+
 // New builds the network described by cfg with the given routing algorithm
 // and VC assigner (a vc.Policy or a link-aware partial-monopolizing
 // assigner). The caller is responsible for having validated the assigner
@@ -167,18 +230,26 @@ func WithInjectionQueue(flits int) Option {
 // deliberately unsafe configurations are allowed (and will deadlock).
 func New(cfg config.NoC, alg routing.Algorithm, pol vc.Assigner, opts ...Option) *Network {
 	m := mesh.New(cfg.Width, cfg.Height)
+	nn := m.NumNodes()
 	n := &Network{
 		m:          m,
 		alg:        alg,
 		pol:        pol,
 		vcs:        cfg.VCsPerPort,
 		depth:      cfg.VCDepth,
+		numNodes:   nn,
 		pipeDelay:  2,
 		injRate:    max(1, cfg.InjectionFlitsPerCycle),
 		linkPeriod: 1,
-		routers:    make([]router, m.NumNodes()),
-		inj:        make([]injQueue, m.NumNodes()),
-		sinks:      make([]Sink, m.NumNodes()),
+		reference:  cfg.ReferenceStepper,
+		routers:    make([]router, nn),
+		inj:        make([]injQueue, nn),
+		sinks:      make([]Sink, nn),
+		active:     make([]int32, 0, nn),
+		activeIn:   make([]bool, nn),
+		injActive:  make([]int32, 0, nn),
+		injIn:      make([]bool, nn),
+		injRng:     make([][packet.NumClasses]vc.Range, nn),
 		stats:      stats.NewNet(m),
 	}
 	for id := range n.routers {
@@ -192,6 +263,34 @@ func New(cfg config.NoC, alg routing.Algorithm, pol vc.Assigner, opts ...Option)
 			l := mesh.Link{From: rt.id, Dir: d}
 			op.rng[packet.Request] = pol.RangeFor(l, op.orient, packet.Request)
 			op.rng[packet.Reply] = pol.RangeFor(l, op.orient, packet.Reply)
+		}
+		for cls := packet.Class(0); cls < packet.NumClasses; cls++ {
+			n.injRng[id][cls] = pol.RangeFor(mesh.Link{From: mesh.NodeID(id), Dir: mesh.Local}, mesh.LocalPort, cls)
+		}
+	}
+	// Second pass: wire each input port to the upstream output port feeding
+	// it, so credit returns are a pointer bump. The routers slice never
+	// reallocates, so the pointers stay valid (telemetry GaugeFuncs rely on
+	// the same stability).
+	for id := range n.routers {
+		rt := &n.routers[id]
+		for d := mesh.North; d < mesh.Local; d++ {
+			op := &rt.out[d]
+			if op.exists {
+				n.routers[op.downNode].upstream[op.downPort] = op
+			}
+		}
+	}
+	if nn <= routeTabMaxNodes {
+		for cls := packet.Class(0); cls < packet.NumClasses; cls++ {
+			tab := make([]uint8, nn*nn)
+			for cur := 0; cur < nn; cur++ {
+				cc := m.Coord(mesh.NodeID(cur))
+				for dst := 0; dst < nn; dst++ {
+					tab[cur*nn+dst] = uint8(alg.NextHop(cc, m.Coord(mesh.NodeID(dst)), cls))
+				}
+			}
+			n.routeTab[cls] = tab
 		}
 	}
 	for i := range n.inj {
@@ -225,6 +324,22 @@ func (n *Network) Quiescent(window int64) bool {
 	return n.inFlight > 0 && n.cycle-n.lastMove >= window
 }
 
+// wake adds a router to the active set; idempotent and O(1).
+func (n *Network) wake(id mesh.NodeID) {
+	if !n.activeIn[id] {
+		n.activeIn[id] = true
+		n.active = append(n.active, int32(id))
+	}
+}
+
+// wakeInj adds a node to the injection-active set; idempotent and O(1).
+func (n *Network) wakeInj(id mesh.NodeID) {
+	if !n.injIn[id] {
+		n.injIn[id] = true
+		n.injActive = append(n.injActive, int32(id))
+	}
+}
+
 // Inject queues p at its source node. The packet's CreatedAt should already
 // be stamped by the caller; InjectedAt is stamped when the head flit enters
 // the router.
@@ -233,9 +348,17 @@ func (n *Network) Inject(p *packet.Packet) bool {
 	if q.flits+p.Flits > q.cap {
 		return false
 	}
+	if q.head > 0 && len(q.pkts) == cap(q.pkts) {
+		// Compact the live tail down instead of growing the backing array.
+		live := copy(q.pkts, q.pkts[q.head:])
+		clear(q.pkts[live:])
+		q.pkts = q.pkts[:live]
+		q.head = 0
+	}
 	q.pkts = append(q.pkts, p)
 	q.flits += p.Flits
 	n.inFlight += p.Flits
+	n.wakeInj(mesh.NodeID(p.Src))
 	return true
 }
 
@@ -300,107 +423,241 @@ func (n *Network) sinkAccept(node mesh.NodeID, f packet.Flit) bool {
 	return s(f)
 }
 
-func (n *Network) queueCredit(node mesh.NodeID, inPort mesh.Direction, vcIdx int) {
-	// The upstream router's output port feeding (node, inPort) is the
-	// neighbour in direction inPort, output port opposite(inPort).
-	up, ok := n.m.Neighbor(n.m.Coord(node), inPort)
-	if !ok {
+// queueCredit defers a credit increment to the end of the cycle, modelling
+// a one-cycle credit loop uniformly regardless of router iteration order.
+// The credit lands in the upstream output port's pending tally; the credit
+// phase applies dirty tallies in one pass.
+func (n *Network) queueCredit(rt *router, inPort mesh.Direction, vcIdx int) {
+	op := rt.upstream[inPort]
+	if op == nil {
 		panic("noc: credit return for a port with no upstream link")
 	}
-	n.credits = append(n.credits, creditReturn{node: n.m.ID(up), dir: inPort.Opposite(), vc: vcIdx})
+	op.pending[vcIdx]++
+	if !op.dirty {
+		op.dirty = true
+		n.creditDirty = append(n.creditDirty, op)
+	}
 }
 
-// injectPhase moves up to injRate flits per node from its injection queue
-// into local input VCs of its router.
-func (n *Network) injectPhase() {
-	for id := range n.inj {
-		q := &n.inj[id]
+// injectNode moves up to injRate flits from the node's injection queue into
+// local input VCs of its router.
+func (n *Network) injectNode(id int) {
+	q := &n.inj[id]
+	if q.empty() {
+		return
+	}
+	rt := &n.routers[id]
+	for budget := n.injRate; budget > 0 && !q.empty(); {
+		p := q.pkts[q.head]
+		if q.sent == 0 {
+			// Pick the allowed local VC with the most free space; any
+			// choice is correct (flits within a VC stay FIFO), emptiest
+			// balances load.
+			r := n.injRng[id][p.Class()]
+			best, bestFree := -1, 0
+			for v := r.Lo; v < r.Hi; v++ {
+				if free := rt.in[mesh.Local][v].buf.free(); free > bestFree {
+					best, bestFree = v, free
+				}
+			}
+			if best == -1 {
+				break // all local VCs full; retry next cycle
+			}
+			q.vc = best
+			p.InjectedAt = n.cycle
+			n.stats.CountInjection(p)
+			if n.tracer != nil {
+				n.tracer.PacketInjected(p, n.cycle)
+			}
+		}
+		ivc := &rt.in[mesh.Local][q.vc]
+		for budget > 0 && q.sent < p.Flits && ivc.buf.free() > 0 {
+			f := packet.Flit{Pkt: p, Seq: q.sent, Head: q.sent == 0, Tail: q.sent == p.Flits-1}
+			ivc.buf.push(f, n.cycle)
+			rt.bufFlits++
+			rt.portFlits[mesh.Local]++
+			n.wake(rt.id)
+			q.sent++
+			q.flits--
+			budget--
+			n.moved = true
+			if n.tel != nil {
+				n.tel.InjFlits[id].Inc()
+			}
+		}
+		if q.sent < p.Flits {
+			break // out of budget or VC space mid-packet
+		}
+		q.popFront()
+		q.sent = 0
+		q.vc = -1
+	}
+}
+
+// linkPhase delivers this router's completed link traversals: flits whose
+// link occupancy has elapsed arrive at downstream buffers, waking the
+// downstream router. A half-width link (period 2) holds each flit an extra
+// cycle, blocking the next switch traversal through that port.
+func (n *Network) linkPhase(rt *router) {
+	for d := mesh.North; d < mesh.Local; d++ {
+		op := &rt.out[d]
+		if !op.exists || !op.regValid || op.regReadyAt > n.cycle {
+			continue
+		}
+		down := &n.routers[op.downNode]
+		down.in[op.downPort][op.regVC].buf.push(op.reg, n.cycle)
+		down.bufFlits++
+		down.portFlits[op.downPort]++
+		n.wake(op.downNode)
+		op.regValid = false
+		rt.regCount--
+	}
+}
+
+// drainCredits applies the cycle's pending credit tallies.
+func (n *Network) drainCredits() {
+	for _, op := range n.creditDirty {
+		for v, pend := range op.pending {
+			if pend != 0 {
+				op.credits[v] += pend
+				op.pending[v] = 0
+			}
+		}
+		op.dirty = false
+	}
+	n.creditDirty = n.creditDirty[:0]
+}
+
+// finishCycle compacts the active sets and advances the cycle counter.
+// Routers retire only when they hold no buffered flits and no occupied link
+// register; nodes retire when their injection queue drains. Everything that
+// re-arms activity (buffer pushes, Inject) wakes the target, so retirement
+// can never strand work.
+func (n *Network) finishCycle() {
+	w := 0
+	for _, id := range n.active {
 		rt := &n.routers[id]
-		for budget := n.injRate; budget > 0 && len(q.pkts) > 0; {
-			p := q.pkts[0]
-			if q.sent == 0 {
-				// Pick the allowed local VC with the most free space; any
-				// choice is correct (flits within a VC stay FIFO), emptiest
-				// balances load.
-				r := n.pol.RangeFor(mesh.Link{From: mesh.NodeID(id), Dir: mesh.Local}, mesh.LocalPort, p.Class())
-				best, bestFree := -1, 0
-				for v := r.Lo; v < r.Hi; v++ {
-					if free := rt.in[mesh.Local][v].buf.free(); free > bestFree {
-						best, bestFree = v, free
-					}
-				}
-				if best == -1 {
-					break // all local VCs full; retry next cycle
-				}
-				q.vc = best
-				p.InjectedAt = n.cycle
-				n.stats.CountInjection(p)
-				if n.tracer != nil {
-					n.tracer.PacketInjected(p, n.cycle)
-				}
-			}
-			ivc := &rt.in[mesh.Local][q.vc]
-			for budget > 0 && q.sent < p.Flits && ivc.buf.free() > 0 {
-				f := packet.Flit{Pkt: p, Seq: q.sent, Head: q.sent == 0, Tail: q.sent == p.Flits-1}
-				ivc.buf.push(f, n.cycle)
-				q.sent++
-				q.flits--
-				budget--
-				n.moved = true
-				if n.tel != nil {
-					n.tel.InjFlits[id].Inc()
-				}
-			}
-			if q.sent < p.Flits {
-				break // out of budget or VC space mid-packet
-			}
-			q.pkts = q.pkts[1:]
-			q.sent = 0
-			q.vc = -1
+		if rt.bufFlits > 0 || rt.regCount > 0 {
+			n.active[w] = id
+			w++
+		} else {
+			n.activeIn[id] = false
 		}
 	}
-}
-
-// Step advances the network by one cycle: injection, router pipelines
-// (RC/VA/SA/ST), then link traversal and credit returns.
-func (n *Network) Step() {
-	n.moved = false
-	n.injectPhase()
-
-	for i := range n.routers {
-		rt := &n.routers[i]
-		n.routeCompute(rt)
-		n.vcAllocate(rt)
-		n.switchAllocateAndTraverse(rt)
-	}
-
-	// Link phase: flits that have completed their link occupancy arrive at
-	// downstream buffers; a half-width link (period 2) holds each flit an
-	// extra cycle, blocking the next switch traversal through that port.
-	for i := range n.routers {
-		rt := &n.routers[i]
-		for d := mesh.North; d < mesh.Local; d++ {
-			op := &rt.out[d]
-			if !op.exists || !op.regValid || op.regReadyAt > n.cycle {
-				continue
-			}
-			down := &n.routers[op.downNode]
-			down.in[op.downPort][op.regVC].buf.push(op.reg, n.cycle)
-			op.regValid = false
+	n.active = n.active[:w]
+	w = 0
+	for _, id := range n.injActive {
+		if !n.inj[id].empty() {
+			n.injActive[w] = id
+			w++
+		} else {
+			n.injIn[id] = false
 		}
 	}
-
-	// Credit phase: freed buffer slots become upstream credits.
-	for _, c := range n.credits {
-		n.routers[c.node].out[c.dir].credits[c.vc]++
-	}
-	n.credits = n.credits[:0]
+	n.injActive = n.injActive[:w]
 
 	if n.moved {
 		n.lastMove = n.cycle
 	}
 	n.cycle++
 	n.stats.Cycles = n.cycle
+}
+
+// Step advances the network by one cycle: injection, router pipelines
+// (RC/VA/SA/ST), then link traversal and credit returns. Only active
+// routers and injecting nodes are visited, in ascending id order — exactly
+// the order the reference full scan produces, so endpoint callbacks and
+// statistics accumulate identically. Each set is walked one of two ways:
+// sparse sets are sorted and iterated directly; once a set covers a quarter
+// of the fabric, a full ascending scan through the same activity gates is
+// cheaper than sorting (the gated-out visits are provably no-ops), so a
+// saturated mesh pays no scheduling overhead over the reference loop.
+func (n *Network) Step() {
+	if n.reference {
+		n.stepReference()
+		return
+	}
+	n.moved = false
+
+	if len(n.injActive)*4 >= len(n.inj) {
+		for id := range n.inj {
+			if !n.inj[id].empty() {
+				n.injectNode(id)
+			}
+		}
+	} else {
+		slices.Sort(n.injActive)
+		for _, id := range n.injActive {
+			n.injectNode(int(id))
+		}
+	}
+
+	if len(n.active)*4 >= len(n.routers) {
+		// Dense: the gates (bufFlits, regCount) are live counters, so this
+		// is the reference loop minus its no-op visits. Routers woken
+		// mid-loop are caught by the same gates the reference applies.
+		for i := range n.routers {
+			rt := &n.routers[i]
+			if rt.bufFlits == 0 {
+				continue
+			}
+			n.routeCompute(rt)
+			n.vcAllocate(rt)
+			n.switchAllocateAndTraverse(rt)
+		}
+		for i := range n.routers {
+			rt := &n.routers[i]
+			if rt.regCount > 0 {
+				n.linkPhase(rt)
+			}
+		}
+	} else {
+		// Sparse: snapshot the sorted active prefix; wakes during the
+		// phases below append routers that, by construction, have no switch
+		// work or link register to process this cycle.
+		slices.Sort(n.active)
+		k := len(n.active)
+		for i := 0; i < k; i++ {
+			rt := &n.routers[n.active[i]]
+			if rt.bufFlits == 0 {
+				continue // only a link register in flight; nothing to arbitrate
+			}
+			n.routeCompute(rt)
+			n.vcAllocate(rt)
+			n.switchAllocateAndTraverse(rt)
+		}
+		for i := 0; i < k; i++ {
+			rt := &n.routers[n.active[i]]
+			if rt.regCount > 0 {
+				n.linkPhase(rt)
+			}
+		}
+	}
+
+	n.drainCredits()
+	n.finishCycle()
+}
+
+// stepReference is the naive stepper: every node and every router, every
+// cycle. It shares all phase helpers (and therefore all bookkeeping —
+// active-set maintenance included) with the event-sparse kernel; only the
+// iteration differs. Equivalence tests hold the two bit-identical.
+func (n *Network) stepReference() {
+	n.moved = false
+	for id := range n.inj {
+		n.injectNode(id)
+	}
+	for i := range n.routers {
+		rt := &n.routers[i]
+		n.routeCompute(rt)
+		n.vcAllocate(rt)
+		n.switchAllocateAndTraverse(rt)
+	}
+	for i := range n.routers {
+		n.linkPhase(&n.routers[i])
+	}
+	n.drainCredits()
+	n.finishCycle()
 }
 
 // Drain runs the network until no flits remain in flight or maxCycles pass;
@@ -412,15 +669,31 @@ func (n *Network) Drain(maxCycles int) bool {
 	return n.inFlight == 0
 }
 
-// CheckInvariants validates internal consistency (buffer occupancy vs credit
-// accounting); tests call it after stepping.
+// CheckInvariants validates internal consistency; tests call it after
+// stepping and the gpu sanitizer samples it during runs. It recounts, from
+// buffer state alone: credit accounting per (output port, VC) — now against
+// the per-port pending tally, not a scan of a credit event list — flit
+// conservation, every router's redundant occupancy counters, and the
+// active-set invariant (any router or node holding work must be scheduled).
 func (n *Network) CheckInvariants() error {
 	count := 0
 	for i := range n.routers {
 		rt := &n.routers[i]
+		bufFlits, regCount, vaReq := 0, 0, 0
+		var portFlits, demand [mesh.NumPorts]int
 		for p := 0; p < mesh.NumPorts; p++ {
 			for v := range rt.in[p] {
-				count += rt.in[p][v].buf.len()
+				ivc := &rt.in[p][v]
+				occ := ivc.buf.len()
+				count += occ
+				bufFlits += occ
+				portFlits[p] += occ
+				if ivc.routed {
+					demand[ivc.route]++
+					if ivc.route != mesh.Local && ivc.outVC == -1 {
+						vaReq++
+					}
+				}
 			}
 		}
 		for d := mesh.North; d < mesh.Local; d++ {
@@ -430,16 +703,12 @@ func (n *Network) CheckInvariants() error {
 			}
 			if op.regValid {
 				count++
+				regCount++
 			}
+			down := &n.routers[op.downNode]
 			for vcIdx, cr := range op.credits {
-				down := &n.routers[op.downNode]
 				occ := down.in[op.downPort][vcIdx].buf.len()
-				pending := 0
-				for _, c := range n.credits {
-					if c.node == rt.id && c.dir == d && c.vc == vcIdx {
-						pending++
-					}
-				}
+				pending := op.pending[vcIdx]
 				inReg := 0
 				if op.regValid && op.regVC == vcIdx {
 					inReg = 1
@@ -450,9 +719,24 @@ func (n *Network) CheckInvariants() error {
 				}
 			}
 		}
+		if bufFlits != rt.bufFlits || regCount != rt.regCount {
+			return fmt.Errorf("noc: occupancy counters at %v: bufFlits %d (counted %d), regCount %d (counted %d)",
+				rt.coord, rt.bufFlits, bufFlits, rt.regCount, regCount)
+		}
+		if portFlits != rt.portFlits || demand != rt.demand || vaReq != rt.vaReq {
+			return fmt.Errorf("noc: scheduling counters at %v: portFlits %v (counted %v), demand %v (counted %v), vaReq %d (counted %d)",
+				rt.coord, rt.portFlits, portFlits, rt.demand, demand, rt.vaReq, vaReq)
+		}
+		if (bufFlits > 0 || regCount > 0) && !n.activeIn[i] {
+			return fmt.Errorf("noc: active-set invariant broken: router %v holds work (%d flits, %d regs) but is not scheduled",
+				rt.coord, bufFlits, regCount)
+		}
 	}
 	for i := range n.inj {
 		count += n.inj[i].flits
+		if !n.inj[i].empty() && !n.injIn[i] {
+			return fmt.Errorf("noc: active-set invariant broken: node %d has queued packets but is not scheduled for injection", i)
+		}
 	}
 	if count != n.inFlight {
 		return fmt.Errorf("noc: flit conservation broken: counted %d, tracked %d", count, n.inFlight)

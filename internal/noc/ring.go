@@ -10,7 +10,10 @@ type bufFlit struct {
 }
 
 // ring is a fixed-capacity FIFO of buffered flits. It models one VC buffer;
-// capacity equals the VC depth and never reallocates on the hot path.
+// capacity equals the VC depth and never reallocates on the hot path. The
+// wrap arithmetic is branch-based rather than modulo: pop/push sit inside
+// the switch-allocation inner loop and an integer divide per flit is
+// measurable there.
 type ring struct {
 	buf  []bufFlit
 	head int
@@ -29,20 +32,41 @@ func (r *ring) push(f packet.Flit, cycle int64) {
 	if r.n == len(r.buf) {
 		panic("noc: VC buffer overflow; credit accounting is broken")
 	}
-	r.buf[(r.head+r.n)%len(r.buf)] = bufFlit{flit: f, arrived: cycle}
+	i := r.head + r.n
+	if i >= len(r.buf) {
+		i -= len(r.buf)
+	}
+	r.buf[i] = bufFlit{flit: f, arrived: cycle}
 	r.n++
 }
 
-func (r *ring) front() bufFlit {
+// front returns the oldest buffered flit without copying it; the pointer is
+// valid until the next push or pop.
+func (r *ring) front() *bufFlit {
 	if r.n == 0 {
 		panic("noc: front of empty VC buffer")
 	}
-	return r.buf[r.head]
+	return &r.buf[r.head]
+}
+
+// frontArrived returns the arrival cycle of the oldest buffered flit; the
+// pipeline-delay check in sendable needs only this field.
+func (r *ring) frontArrived() int64 {
+	if r.n == 0 {
+		panic("noc: front of empty VC buffer")
+	}
+	return r.buf[r.head].arrived
 }
 
 func (r *ring) pop() bufFlit {
-	f := r.front()
-	r.head = (r.head + 1) % len(r.buf)
+	if r.n == 0 {
+		panic("noc: front of empty VC buffer")
+	}
+	f := r.buf[r.head]
+	r.head++
+	if r.head == len(r.buf) {
+		r.head = 0
+	}
 	r.n--
 	return f
 }

@@ -13,6 +13,7 @@ type inputVC struct {
 	buf    ring
 	routed bool           // front packet's route computed
 	route  mesh.Direction // output port of the front packet
+	cls    packet.Class   // front packet's class, cached at route compute
 	outVC  int            // allocated downstream VC, -1 if none
 }
 
@@ -28,6 +29,8 @@ type outPort struct {
 	orient   mesh.Orientation
 
 	credits []int                       // free downstream buffer slots per VC
+	pending []int                       // credits returned this cycle, applied in the credit phase
+	dirty   bool                        // on Network.creditDirty, pending not yet applied
 	owner   []int                       // per VC: owning input (port*V + vc) or noOwner
 	rng     [packet.NumClasses]vc.Range // per-class allowed VCs on this link
 
@@ -41,12 +44,27 @@ type outPort struct {
 // two pipeline stages (RC+VA+SA, then ST) with lookahead-style single-cycle
 // route computation, separable round-robin VC and switch allocation, and
 // credit-based flow control.
+//
+// The occupancy counters (bufFlits, portFlits, regCount, demand, vaReq) are
+// redundant summaries of buffer and pipeline state, maintained at every
+// push/pop/grant site. They exist so the cycle kernel can skip provably idle
+// work: an empty port never enters the allocation scans, an undemanded
+// output never arbitrates, and a router with bufFlits == 0 and
+// regCount == 0 drops out of the active set entirely. CheckInvariants
+// recounts all of them from first principles.
 type router struct {
 	id    mesh.NodeID
 	coord mesh.Coord
 
 	in  [mesh.NumPorts][]inputVC
 	out [mesh.NumPorts]outPort
+
+	bufFlits  int                     // flits buffered across all input VCs
+	portFlits [mesh.NumPorts]int      // flits buffered per input port
+	regCount  int                     // occupied output link registers
+	demand    [mesh.NumPorts]int      // routed input VCs targeting each output
+	vaReq     int                     // routed non-local input VCs awaiting an output VC
+	upstream  [mesh.NumPorts]*outPort // output port feeding each input port (nil for Local)
 
 	// Round-robin pointers for fair, deterministic arbitration.
 	vaPtr   [mesh.NumPorts]int // per output port, over input (port*V+vc)
@@ -78,6 +96,7 @@ func (rt *router) init(id mesh.NodeID, m mesh.Mesh, vcs, depth int) {
 		op.downPort = d.Opposite()
 		op.orient = d.Orientation()
 		op.credits = make([]int, vcs)
+		op.pending = make([]int, vcs)
 		op.owner = make([]int, vcs)
 		for v := range op.credits {
 			op.credits[v] = depth
@@ -96,20 +115,33 @@ func (rt *router) init(id mesh.NodeID, m mesh.Mesh, vcs, depth int) {
 // head.
 func (n *Network) routeCompute(rt *router) {
 	for p := 0; p < mesh.NumPorts; p++ {
+		if rt.portFlits[p] == 0 {
+			continue
+		}
 		for v := range rt.in[p] {
 			ivc := &rt.in[p][v]
 			if ivc.routed || ivc.buf.len() == 0 {
 				continue
 			}
-			f := ivc.buf.front().flit
+			f := &ivc.buf.front().flit
 			if !f.Head {
 				// A body flit at the front of an unrouted VC means the
 				// head already left and released state — impossible under
 				// wormhole discipline.
 				panic("noc: body flit at front of unrouted VC")
 			}
-			ivc.route = n.alg.NextHop(rt.coord, n.m.Coord(mesh.NodeID(f.Pkt.Dst)), f.Pkt.Class())
+			cls := f.Pkt.Class()
+			if tab := n.routeTab[cls]; tab != nil {
+				ivc.route = mesh.Direction(tab[int(rt.id)*n.numNodes+int(f.Pkt.Dst)])
+			} else {
+				ivc.route = n.alg.NextHop(rt.coord, n.m.Coord(mesh.NodeID(f.Pkt.Dst)), cls)
+			}
+			ivc.cls = cls
 			ivc.routed = true
+			rt.demand[ivc.route]++
+			if ivc.route != mesh.Local {
+				rt.vaReq++
+			}
 		}
 	}
 }
@@ -118,6 +150,9 @@ func (n *Network) routeCompute(rt *router) {
 // at most one requesting input VC whose policy range admits it, in
 // round-robin order over inputs.
 func (n *Network) vcAllocate(rt *router) {
+	if rt.vaReq == 0 {
+		return
+	}
 	V := n.vcs
 	total := mesh.NumPorts * V
 	// Gather requesters once: input VCs whose front flit is a routed head
@@ -125,8 +160,10 @@ func (n *Network) vcAllocate(rt *router) {
 	for d := range rt.reqScratch {
 		rt.reqScratch[d] = rt.reqScratch[d][:0]
 	}
-	any := false
 	for p := 0; p < mesh.NumPorts; p++ {
+		if rt.portFlits[p] == 0 {
+			continue
+		}
 		for v := 0; v < V; v++ {
 			ivc := &rt.in[p][v]
 			if !ivc.routed || ivc.outVC != -1 || ivc.route == mesh.Local || ivc.buf.len() == 0 {
@@ -135,12 +172,10 @@ func (n *Network) vcAllocate(rt *router) {
 			if !ivc.buf.front().flit.Head {
 				continue
 			}
-			rt.reqScratch[ivc.route] = append(rt.reqScratch[ivc.route], p*V+v)
-			any = true
+			// Pack (input index, class) into one word so the grant scan
+			// below needs no division or buffer access per requester.
+			rt.reqScratch[ivc.route] = append(rt.reqScratch[ivc.route], (p*V+v)<<1|int(ivc.cls))
 		}
-	}
-	if !any {
-		return
 	}
 	for d := mesh.North; d < mesh.Local; d++ {
 		op := &rt.out[d]
@@ -155,48 +190,40 @@ func (n *Network) vcAllocate(rt *router) {
 			// Grant to the eligible requester closest after the round-robin
 			// pointer.
 			bestK, bestDist := -1, total+1
-			for k, idx := range reqs {
-				if idx < 0 {
+			for k, code := range reqs {
+				if code < 0 {
 					continue
 				}
-				ivc := &rt.in[idx/V][idx%V]
-				cls := ivc.buf.front().flit.Pkt.Class()
-				if !op.rng[cls].Contains(ovc) {
+				if !op.rng[packet.Class(code&1)].Contains(ovc) {
 					continue
 				}
-				if dist := (idx - rt.vaPtr[d] + total) % total; dist < bestDist {
+				dist := code>>1 - rt.vaPtr[d]
+				if dist < 0 {
+					dist += total
+				}
+				if dist < bestDist {
 					bestK, bestDist = k, dist
 				}
 			}
 			if bestK < 0 {
 				continue
 			}
-			idx := reqs[bestK]
+			idx := reqs[bestK] >> 1
 			op.owner[ovc] = idx
 			rt.in[idx/V][idx%V].outVC = ovc
+			rt.vaReq--
 			reqs[bestK] = -1 // granted; no second VC this cycle
-			rt.vaPtr[d] = (idx + 1) % total
+			rt.vaPtr[d] = idx + 1
+			if rt.vaPtr[d] == total {
+				rt.vaPtr[d] = 0
+			}
 		}
 	}
 }
 
-// sendable reports whether input VC (p,v) can move its front flit through
-// output d this cycle, ignoring switch contention (that is SA's job). For
-// ejection the final say belongs to the sink at traversal time.
-func (n *Network) sendable(rt *router, p, v int, d mesh.Direction) bool {
-	ivc := &rt.in[p][v]
-	if ivc.buf.len() == 0 || !ivc.routed || ivc.route != d {
-		return false
-	}
-	if n.cycle < ivc.buf.front().arrived+n.pipeDelay {
-		return false // still in the first pipeline stage
-	}
-	if d == mesh.Local {
-		return n.sinks[rt.id] != nil
-	}
-	op := &rt.out[d]
-	return ivc.outVC != -1 && op.exists && !op.regValid && op.credits[ivc.outVC] > 0
-}
+// The requester packing above keeps the class in the low bit; this fails to
+// compile if the class space ever outgrows it.
+var _ [2 - packet.NumClasses]struct{}
 
 // switchAllocateAndTraverse runs SA and ST: each output port grants at most
 // one flit per cycle, each input port sends at most one flit per cycle, and
@@ -205,6 +232,10 @@ func (n *Network) sendable(rt *router, p, v int, d mesh.Direction) bool {
 // the remaining VCs and ports, which is essential to avoid artificial
 // wedging when an ejection-blocked packet shares a port with through
 // traffic.
+//
+// Output ports with no routed demand and input ports with no buffered flits
+// are skipped outright; both gates eliminate only scans that could not have
+// granted anything, so arbitration order is unchanged.
 func (n *Network) switchAllocateAndTraverse(rt *router) {
 	V := n.vcs
 	var usedInput [mesh.NumPorts]bool
@@ -213,22 +244,49 @@ func (n *Network) switchAllocateAndTraverse(rt *router) {
 		movedVC[p] = -1
 	}
 	for d := mesh.Direction(0); d < mesh.NumPorts; d++ {
+		if rt.demand[d] == 0 {
+			continue
+		}
 		op := &rt.out[d]
 		if !op.exists {
 			continue
 		}
-		if d != mesh.Local && op.regValid {
+		local := d == mesh.Local
+		if !local && op.regValid {
 			continue
 		}
 	grant:
 		for k := 0; k < mesh.NumPorts; k++ {
-			p := (rt.saPtr[d] + k) % mesh.NumPorts
-			if usedInput[p] {
+			p := rt.saPtr[d] + k
+			if p >= mesh.NumPorts {
+				p -= mesh.NumPorts
+			}
+			if usedInput[p] || rt.portFlits[p] == 0 {
 				continue
 			}
+			vcs := rt.in[p]
 			for j := 0; j < V; j++ {
-				v := (rt.saVCPtr[p] + j) % V
-				if !n.sendable(rt, p, v, d) {
+				v := rt.saVCPtr[p] + j
+				if v >= V {
+					v -= V
+				}
+				// Sendability, ignoring switch contention (which this scan
+				// resolves): a routed front flit past the pipeline delay,
+				// holding an output VC with a downstream credit — or, for
+				// ejection, a present sink; the final say then belongs to
+				// the sink at traversal time.
+				ivc := &vcs[v]
+				if ivc.buf.n == 0 || !ivc.routed || ivc.route != d {
+					continue
+				}
+				if n.cycle < ivc.buf.buf[ivc.buf.head].arrived+n.pipeDelay {
+					continue // still in the first pipeline stage
+				}
+				if local {
+					if n.sinks[rt.id] == nil {
+						continue
+					}
+				} else if ivc.outVC == -1 || op.credits[ivc.outVC] == 0 {
 					continue
 				}
 				if !n.traverse(rt, p, v, d) {
@@ -236,8 +294,14 @@ func (n *Network) switchAllocateAndTraverse(rt *router) {
 				}
 				usedInput[p] = true
 				movedVC[p] = v
-				rt.saPtr[d] = (p + 1) % mesh.NumPorts
-				rt.saVCPtr[p] = (v + 1) % V
+				rt.saPtr[d] = p + 1
+				if rt.saPtr[d] == mesh.NumPorts {
+					rt.saPtr[d] = 0
+				}
+				rt.saVCPtr[p] = v + 1
+				if rt.saVCPtr[p] == V {
+					rt.saVCPtr[p] = 0
+				}
 				break grant
 			}
 		}
@@ -255,6 +319,9 @@ func (n *Network) switchAllocateAndTraverse(rt *router) {
 // runs after SA so "moved this cycle" is known exactly.
 func (n *Network) countStalls(rt *router, movedVC *[mesh.NumPorts]int) {
 	for p := 0; p < mesh.NumPorts; p++ {
+		if rt.portFlits[p] == 0 {
+			continue
+		}
 		for v := range rt.in[p] {
 			ivc := &rt.in[p][v]
 			if ivc.buf.len() == 0 || !ivc.routed || ivc.route == mesh.Local {
@@ -263,7 +330,7 @@ func (n *Network) countStalls(rt *router, movedVC *[mesh.NumPorts]int) {
 			if movedVC[p] == v {
 				continue // progressed this cycle
 			}
-			if n.cycle < ivc.buf.front().arrived+n.pipeDelay {
+			if n.cycle < ivc.buf.frontArrived()+n.pipeDelay {
 				continue // still in the first pipeline stage
 			}
 			switch {
@@ -284,7 +351,7 @@ func (n *Network) countStalls(rt *router, movedVC *[mesh.NumPorts]int) {
 func (n *Network) traverse(rt *router, p, v int, d mesh.Direction) bool {
 	ivc := &rt.in[p][v]
 	if d == mesh.Local {
-		front := ivc.buf.front().flit
+		front := &ivc.buf.front().flit
 		if front.Tail {
 			// Stamp before the sink sees the tail: endpoints (the MC) read
 			// EjectedAt inside the sink callback to capture the request
@@ -292,17 +359,19 @@ func (n *Network) traverse(rt *router, p, v int, d mesh.Direction) bool {
 			// which the successful retry overwrites.
 			front.Pkt.EjectedAt = n.cycle
 		}
-		if !n.sinkAccept(rt.id, front) {
+		if !n.sinkAccept(rt.id, *front) {
 			return false
 		}
 	}
 	bf := ivc.buf.pop()
 	f := bf.flit
+	rt.bufFlits--
+	rt.portFlits[p]--
 
 	// Return a credit upstream for the freed buffer slot (not for the
 	// injection port: the injection queue tracks its own space).
 	if p != int(mesh.Local) {
-		n.queueCredit(rt.id, mesh.Direction(p), v)
+		n.queueCredit(rt, mesh.Direction(p), v)
 	}
 
 	if d == mesh.Local {
@@ -326,6 +395,7 @@ func (n *Network) traverse(rt *router, p, v int, d mesh.Direction) bool {
 		op.regVC = ivc.outVC
 		op.regValid = true
 		op.regReadyAt = n.cycle + n.linkPeriod - 1
+		rt.regCount++
 		n.stats.CountLink(mesh.Link{From: rt.id, Dir: d}, f.Pkt.Class())
 		if n.tracer != nil {
 			n.tracer.FlitHop(f, mesh.Link{From: rt.id, Dir: d}, n.cycle)
@@ -337,6 +407,7 @@ func (n *Network) traverse(rt *router, p, v int, d mesh.Direction) bool {
 
 	if f.Tail {
 		// Release the output VC and the per-packet routing state.
+		rt.demand[d]--
 		if d != mesh.Local {
 			rt.out[d].owner[ivc.outVC] = noOwner
 		}

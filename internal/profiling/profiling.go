@@ -1,0 +1,53 @@
+// Package profiling wires the runtime/pprof collectors into the CLIs with
+// one call. Every binary that exposes -cpuprofile/-memprofile (cmd/nocsim,
+// cmd/sweep) shares this implementation, so the artifacts are uniform:
+// `go tool pprof <binary> <file>` works on any of them.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins the profiles selected by the two paths (empty disables
+// each): cpuPath receives a CPU profile from now until the returned stop
+// function runs; memPath receives an allocation (heap) profile captured at
+// stop time, after a final GC so it reflects live objects and cumulative
+// allocation, not transient garbage. Call stop exactly once, on every exit
+// path that should produce profiles.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return err
+			}
+			runtime.GC() // flush transient garbage so the heap profile shows what lives
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				f.Close()
+				return fmt.Errorf("mem profile: %w", err)
+			}
+			return f.Close()
+		}
+		return nil
+	}, nil
+}
