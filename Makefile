@@ -4,13 +4,20 @@ TELEMETRY_DEMO_OUT ?= telemetry-demo
 
 PROFILE_OUT ?= profiles
 BENCH_JSON ?= BENCH_PR4.json
+BENCH_BASELINE ?= BENCH_PR4.json
+BENCH_DIFF_JSON := $(shell mktemp -u /tmp/bench-diff.XXXXXX.json)
+OBS_DEMO_ADDR ?= 127.0.0.1:9177
 
-.PHONY: check lint vet build test race smoke bench-smoke telemetry-demo profile bench-json clean
+.PHONY: check lint vet build test race smoke bench-smoke telemetry-demo profile bench-json bench-diff obs-demo clean
 
 # check is the full pre-merge gate: static analysis, build, race-enabled
 # tests, an end-to-end smoke sweep through cmd/sweep, and a one-iteration
-# compile-and-run pass over every benchmark.
+# compile-and-run pass over every benchmark. bench-diff is advisory (the
+# leading dash): it re-measures the headline benchmarks and prints the
+# delta against the committed baseline, but machine noise means a red row
+# is a prompt to investigate, not a build failure.
 check: lint build race smoke bench-smoke
+	-$(MAKE) bench-diff
 
 # lint is all static analysis: go vet plus the repository's own analyzers
 # (determinism, seedflow, paniclint — see internal/lint).
@@ -61,6 +68,32 @@ bench-json:
 		-bench '^(BenchmarkGPUCycle|BenchmarkGPUCycleReference|BenchmarkRouterStep)$$' \
 		-benchtime 20000x -count 8 . | $(GO) run ./cmd/benchjson -out $(BENCH_JSON)
 	@echo "wrote $(BENCH_JSON)"
+
+# bench-diff re-measures the headline benchmarks and compares median ns/op
+# against the committed baseline (BENCH_BASELINE) with a ±5% noise band.
+# Exit status is the comparison verdict: non-zero when any benchmark
+# regressed beyond the band or vanished from the new run.
+bench-diff:
+	$(MAKE) bench-json BENCH_JSON=$(BENCH_DIFF_JSON)
+	$(GO) run ./cmd/benchjson diff -baseline $(BENCH_BASELINE) \
+		-new $(BENCH_DIFF_JSON) -fail-on-regress
+	@rm -f $(BENCH_DIFF_JSON)
+
+# obs-demo shows the live observability surface: a real run with the HTTP
+# server up, scraped once per endpoint mid-flight. See README
+# "Live observability".
+obs-demo:
+	$(GO) run ./cmd/nocsim -bench KMN -cycles 2000000 -telemetry-epoch 1000 \
+		-obs-addr $(OBS_DEMO_ADDR) -obs-publish 500 & \
+	pid=$$!; \
+	for i in $$(seq 1 50); do \
+		curl -fsS http://$(OBS_DEMO_ADDR)/healthz >/dev/null 2>&1 && break; \
+		sleep 0.2; \
+	done; \
+	echo "--- /progress ---"; curl -fsS http://$(OBS_DEMO_ADDR)/progress; echo; \
+	echo "--- /metrics (head) ---"; curl -fsS http://$(OBS_DEMO_ADDR)/metrics | head -20; \
+	echo "--- /state (head) ---"; curl -fsS http://$(OBS_DEMO_ADDR)/state | head -c 400; echo; \
+	wait $$pid
 
 # profile captures CPU and allocation profiles of a representative run:
 # one full-GPU simulation on the heaviest benchmark. Inspect with

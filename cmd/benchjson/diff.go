@@ -1,0 +1,184 @@
+// The diff subcommand: compare a new bench JSON artifact against a
+// committed baseline, median-vs-median with a noise threshold, and report
+// per-benchmark verdicts. This is the regression gate `make bench-diff`
+// and CI run — advisory by default, blocking with -fail-on-regress.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Verdict classifies one benchmark's baseline→new movement.
+type Verdict string
+
+const (
+	VerdictOK              Verdict = "ok"               // within the noise threshold
+	VerdictImproved        Verdict = "improved"         // faster beyond the threshold
+	VerdictRegressed       Verdict = "regressed"        // slower beyond the threshold
+	VerdictMissingBaseline Verdict = "missing-baseline" // new benchmark, nothing to compare
+	VerdictMissingNew      Verdict = "missing-new"      // benchmark disappeared from the new run
+)
+
+// DiffRow is one benchmark's comparison on the primary metric (ns/op).
+type DiffRow struct {
+	Name     string  `json:"name"`
+	Verdict  Verdict `json:"verdict"`
+	Baseline float64 `json:"baseline_ns_op,omitempty"`
+	New      float64 `json:"new_ns_op,omitempty"`
+	Delta    float64 `json:"delta"` // (new-baseline)/baseline; 0 when either side is missing
+}
+
+// Diff compares new against baseline on median ns/op. threshold is the
+// relative noise band: |delta| <= threshold is "ok". Rows come back sorted
+// by name — the union of both reports, so disappeared and newly added
+// benchmarks are both visible.
+func Diff(baseline, new Report, threshold float64) []DiffRow {
+	base := medians(baseline)
+	cur := medians(new)
+
+	names := make([]string, 0, len(base)+len(cur))
+	seen := map[string]bool{}
+	for _, b := range baseline.Benchmarks {
+		if !seen[b.Name] {
+			seen[b.Name] = true
+			names = append(names, b.Name)
+		}
+	}
+	for _, b := range new.Benchmarks {
+		if !seen[b.Name] {
+			seen[b.Name] = true
+			names = append(names, b.Name)
+		}
+	}
+	sort.Strings(names)
+
+	rows := make([]DiffRow, 0, len(names))
+	for _, name := range names {
+		b, hasBase := base[name]
+		n, hasNew := cur[name]
+		row := DiffRow{Name: name, Baseline: b, New: n}
+		switch {
+		case !hasBase:
+			row.Verdict = VerdictMissingBaseline
+		case !hasNew:
+			row.Verdict = VerdictMissingNew
+		default:
+			row.Delta = (n - b) / b
+			switch {
+			case row.Delta > threshold:
+				row.Verdict = VerdictRegressed
+			case row.Delta < -threshold:
+				row.Verdict = VerdictImproved
+			default:
+				row.Verdict = VerdictOK
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// medians extracts each benchmark's median ns/op. Benchmarks without an
+// ns/op metric (custom-unit-only) are skipped: there is no comparable
+// primary metric.
+func medians(rep Report) map[string]float64 {
+	out := map[string]float64{}
+	for _, b := range rep.Benchmarks {
+		for _, m := range b.Metrics {
+			if m.Unit == "ns/op" {
+				out[b.Name] = m.Median
+				break
+			}
+		}
+	}
+	return out
+}
+
+// AnyRegressed reports whether the diff found a regression or a vanished
+// benchmark — the conditions -fail-on-regress turns into a non-zero exit.
+func AnyRegressed(rows []DiffRow) bool {
+	for _, r := range rows {
+		if r.Verdict == VerdictRegressed || r.Verdict == VerdictMissingNew {
+			return true
+		}
+	}
+	return false
+}
+
+// WriteDiff renders the rows as an aligned text table.
+func WriteDiff(w io.Writer, rows []DiffRow, threshold float64) {
+	fmt.Fprintf(w, "%-50s %12s %12s %8s  %s\n", "benchmark", "baseline", "new", "delta", "verdict")
+	for _, r := range rows {
+		base, cur, delta := "-", "-", "-"
+		if r.Verdict != VerdictMissingBaseline {
+			base = fmt.Sprintf("%.1f", r.Baseline)
+		}
+		if r.Verdict != VerdictMissingNew {
+			cur = fmt.Sprintf("%.1f", r.New)
+		}
+		if r.Verdict == VerdictOK || r.Verdict == VerdictImproved || r.Verdict == VerdictRegressed {
+			delta = fmt.Sprintf("%+.1f%%", r.Delta*100)
+		}
+		fmt.Fprintf(w, "%-50s %12s %12s %8s  %s\n", r.Name, base, cur, delta, r.Verdict)
+	}
+	fmt.Fprintf(w, "(threshold ±%.1f%% on median ns/op)\n", threshold*100)
+}
+
+// runDiff is the `benchjson diff` entry point.
+func runDiff(args []string) {
+	fs := flag.NewFlagSet("benchjson diff", flag.ExitOnError)
+	baseFile := fs.String("baseline", "BENCH_PR4.json", "committed baseline bench JSON")
+	newFile := fs.String("new", "", "new bench JSON to compare (required)")
+	threshold := fs.Float64("threshold", 0.05, "relative noise threshold on median ns/op")
+	failOn := fs.Bool("fail-on-regress", false, "exit non-zero on a regression or a missing benchmark")
+	jsonOut := fs.Bool("json", false, "emit the diff rows as JSON instead of a table")
+	if err := fs.Parse(args); err != nil {
+		fatal(err)
+	}
+	if *newFile == "" {
+		fatal(fmt.Errorf("benchjson diff: -new is required"))
+	}
+	if *threshold < 0 {
+		fatal(fmt.Errorf("benchjson diff: threshold %v must be >= 0", *threshold))
+	}
+
+	baseline, err := readReport(*baseFile)
+	if err != nil {
+		fatal(err)
+	}
+	current, err := readReport(*newFile)
+	if err != nil {
+		fatal(err)
+	}
+
+	rows := Diff(baseline, current, *threshold)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rows); err != nil {
+			fatal(err)
+		}
+	} else {
+		WriteDiff(os.Stdout, rows, *threshold)
+	}
+	if *failOn && AnyRegressed(rows) {
+		os.Exit(1)
+	}
+}
+
+func readReport(path string) (Report, error) {
+	var rep Report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}

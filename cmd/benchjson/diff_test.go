@@ -1,0 +1,117 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func report(benches ...Benchmark) Report { return Report{Benchmarks: benches} }
+
+func bench(name string, nsop float64) Benchmark {
+	return Benchmark{Name: name, Metrics: []Metric{{Unit: "ns/op", Runs: 8, Median: nsop}}}
+}
+
+func rowByName(t *testing.T, rows []DiffRow, name string) DiffRow {
+	t.Helper()
+	for _, r := range rows {
+		if r.Name == name {
+			return r
+		}
+	}
+	t.Fatalf("no diff row for %q in %+v", name, rows)
+	return DiffRow{}
+}
+
+func TestDiffWithinNoise(t *testing.T) {
+	rows := Diff(report(bench("BenchmarkGPUCycle-8", 17000)),
+		report(bench("BenchmarkGPUCycle-8", 17500)), 0.05)
+	r := rowByName(t, rows, "BenchmarkGPUCycle-8")
+	if r.Verdict != VerdictOK {
+		t.Fatalf("+2.9%% at 5%% threshold: verdict %s, want ok", r.Verdict)
+	}
+	if AnyRegressed(rows) {
+		t.Fatal("within-noise diff must not trip the gate")
+	}
+}
+
+func TestDiffRegressedBeyondThreshold(t *testing.T) {
+	rows := Diff(report(bench("BenchmarkRouterStep-8", 24000)),
+		report(bench("BenchmarkRouterStep-8", 26000)), 0.05)
+	r := rowByName(t, rows, "BenchmarkRouterStep-8")
+	if r.Verdict != VerdictRegressed {
+		t.Fatalf("+8.3%% at 5%% threshold: verdict %s, want regressed", r.Verdict)
+	}
+	if got, want := r.Delta, (26000.0-24000.0)/24000.0; got != want {
+		t.Fatalf("delta %v, want %v", got, want)
+	}
+	if !AnyRegressed(rows) {
+		t.Fatal("regression must trip the gate")
+	}
+}
+
+func TestDiffImproved(t *testing.T) {
+	rows := Diff(report(bench("BenchmarkGPUCycle-8", 17000)),
+		report(bench("BenchmarkGPUCycle-8", 15000)), 0.05)
+	if r := rowByName(t, rows, "BenchmarkGPUCycle-8"); r.Verdict != VerdictImproved {
+		t.Fatalf("-11.8%% at 5%% threshold: verdict %s, want improved", r.Verdict)
+	}
+	if AnyRegressed(rows) {
+		t.Fatal("improvement must not trip the gate")
+	}
+}
+
+func TestDiffMissingBenchmarks(t *testing.T) {
+	rows := Diff(
+		report(bench("BenchmarkOld-8", 100), bench("BenchmarkShared-8", 50)),
+		report(bench("BenchmarkNew-8", 200), bench("BenchmarkShared-8", 50)),
+		0.05)
+	if r := rowByName(t, rows, "BenchmarkOld-8"); r.Verdict != VerdictMissingNew {
+		t.Fatalf("vanished benchmark: verdict %s, want missing-new", r.Verdict)
+	}
+	if r := rowByName(t, rows, "BenchmarkNew-8"); r.Verdict != VerdictMissingBaseline {
+		t.Fatalf("new benchmark: verdict %s, want missing-baseline", r.Verdict)
+	}
+	if r := rowByName(t, rows, "BenchmarkShared-8"); r.Verdict != VerdictOK {
+		t.Fatalf("unchanged benchmark: verdict %s, want ok", r.Verdict)
+	}
+	// A benchmark disappearing is a gate failure (a silently dropped
+	// benchmark is how regressions hide); a new one is not.
+	if !AnyRegressed(rows) {
+		t.Fatal("missing-new must trip the gate")
+	}
+	if AnyRegressed(rows[:0:0]) {
+		t.Fatal("empty diff must not trip the gate")
+	}
+}
+
+func TestDiffExactThresholdIsOK(t *testing.T) {
+	// The band is inclusive: exactly +5% on a 5% threshold is noise.
+	rows := Diff(report(bench("BenchmarkEdge-8", 1000)),
+		report(bench("BenchmarkEdge-8", 1050)), 0.05)
+	if r := rowByName(t, rows, "BenchmarkEdge-8"); r.Verdict != VerdictOK {
+		t.Fatalf("exact-threshold delta: verdict %s, want ok", r.Verdict)
+	}
+}
+
+func TestDiffSkipsBenchmarksWithoutNsOp(t *testing.T) {
+	custom := Benchmark{Name: "BenchmarkCustom-8",
+		Metrics: []Metric{{Unit: "cycles/op", Runs: 8, Median: 5}}}
+	rows := Diff(report(custom), report(custom), 0.05)
+	// No ns/op on either side: both lookups miss, classified missing-baseline.
+	if r := rowByName(t, rows, "BenchmarkCustom-8"); r.Verdict != VerdictMissingBaseline {
+		t.Fatalf("custom-unit benchmark: verdict %s, want missing-baseline", r.Verdict)
+	}
+}
+
+func TestWriteDiffTable(t *testing.T) {
+	rows := Diff(report(bench("BenchmarkA-8", 100)),
+		report(bench("BenchmarkA-8", 120)), 0.05)
+	var sb strings.Builder
+	WriteDiff(&sb, rows, 0.05)
+	out := sb.String()
+	for _, want := range []string{"BenchmarkA-8", "regressed", "+20.0%", "threshold"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -12,6 +12,11 @@
 // Usage:
 //
 //	go test -run '^$' -bench 'GPUCycle$' -benchtime 20000x -count 8 . | benchjson -out bench.json
+//
+// The diff subcommand compares two such artifacts median-vs-median as a
+// regression gate (see diff.go):
+//
+//	benchjson diff -baseline BENCH_PR4.json -new bench.json -threshold 0.05
 package main
 
 import (
@@ -54,6 +59,10 @@ type Report struct {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "diff" {
+		runDiff(os.Args[2:])
+		return
+	}
 	in := flag.String("in", "", "read benchmark output from this file (default stdin)")
 	out := flag.String("out", "", "write JSON to this file (default stdout)")
 	flag.Parse()

@@ -22,6 +22,7 @@ import (
 	"gpgpunoc/internal/gpu"
 	"gpgpunoc/internal/mesh"
 	"gpgpunoc/internal/noc"
+	"gpgpunoc/internal/obs"
 	"gpgpunoc/internal/packet"
 	"gpgpunoc/internal/profiling"
 	"gpgpunoc/internal/telemetry"
@@ -45,12 +46,23 @@ func main() {
 	)
 	// All simulation-configuration flags (-config, -placement, -routing,
 	// -vcpolicy, -vcs, -depth, -cycles, -seed, -allow-unsafe, ...) come
-	// from the shared config.BindFlags API.
+	// from the shared config.BindFlags API; the live-observability flags
+	// (-obs-addr, -obs-publish, -obs-sample-rate, -spans, -span-trace)
+	// from config.BindObsFlags.
 	cf := config.BindFlags(flag.CommandLine)
+	of := config.BindObsFlags(flag.CommandLine)
 	flag.Parse()
 
 	cfg, err := cf.Config()
 	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := config.ValidateTelemetryEpoch(*telEpoch); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := of.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -86,6 +98,23 @@ func main() {
 	if *telEpoch > 0 {
 		sim.AttachTelemetry(*telEpoch)
 	}
+	if of.SpansEnabled() {
+		if _, err := sim.AttachSpans(of.SampleRate); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			exit(1)
+		}
+	}
+	if of.Addr != "" {
+		srv, err := obs.NewServer(of.Addr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			exit(1)
+		}
+		// No Close: the server lives until process exit so late scrapes
+		// still see the final snapshot.
+		sim.AttachObs(srv, of.PublishEvery)
+		fmt.Printf("observability: http://%s/{metrics,state,progress,healthz}\n", srv.Addr())
+	}
 	var traceFlush func() error
 	if *traceCSV != "" {
 		net, ok := sim.Net.(*noc.Network)
@@ -118,6 +147,20 @@ func main() {
 		// Sanitizer violations (and cancellations) still report the partial
 		// result; the non-zero exit is what CI keys on.
 		fmt.Fprintln(os.Stderr, runErr)
+	}
+	if res.Spans != nil {
+		if err := writeSpans(res.Spans, of.SpansOut, of.TraceOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			exit(1)
+		}
+		fmt.Printf("spans: %d packets traced at rate %g", res.Spans.NumTraces(), res.Spans.Rate())
+		if of.SpansOut != "" {
+			fmt.Printf("  log %s", of.SpansOut)
+		}
+		if of.TraceOut != "" {
+			fmt.Printf("  trace %s", of.TraceOut)
+		}
+		fmt.Println()
 	}
 	if res.Tel != nil {
 		m := mesh.New(cfg.NoC.Width, cfg.NoC.Height)
@@ -157,6 +200,30 @@ func main() {
 		exit(1)
 	}
 	exit(0)
+}
+
+// writeSpans exports the sampled-packet spans: the JSONL log (one line per
+// traced packet, ReadSpans round-trippable) and/or the Chrome trace-event
+// file (loadable in Perfetto, one track per packet).
+func writeSpans(sp *obs.Spans, jsonlPath, tracePath string) error {
+	write := func(path string, fn func(w io.Writer) error) error {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if err := write(jsonlPath, sp.WriteJSONL); err != nil {
+		return err
+	}
+	return write(tracePath, sp.WriteChromeTrace)
 }
 
 // writeTelemetry exports the instrumented run's three artifacts into dir:

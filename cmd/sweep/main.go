@@ -18,12 +18,14 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
 
 	"gpgpunoc/internal/config"
 	"gpgpunoc/internal/gpu"
+	"gpgpunoc/internal/obs"
 	"gpgpunoc/internal/profiling"
 	"gpgpunoc/internal/sweep"
 	"gpgpunoc/internal/workload"
@@ -44,6 +46,8 @@ func main() {
 		telEpoch = flag.Int64("telemetry-epoch", 0, "sample cycle-domain telemetry every N cycles (0 = off)")
 		telDir   = flag.String("telemetry-dir", "", "directory for per-job telemetry artifacts (default: <out>.telemetry)")
 
+		obsAddr = flag.String("obs-addr", "", "serve live sweep /metrics, /state, /progress on this address (empty = off)")
+
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 
@@ -60,6 +64,10 @@ func main() {
 	// flag→config API, so `-config file.json` or `-vcs 4` shapes every job.
 	cf := config.BindFlags(flag.CommandLine)
 	flag.Parse()
+
+	if err := config.ValidateTelemetryEpoch(*telEpoch); err != nil {
+		fatal(err)
+	}
 
 	spec, err := buildSpec(*specFile, cf, gridFlags{
 		benchmarks: *benchmarks, placements: *placements, routings: *routings,
@@ -102,6 +110,36 @@ func main() {
 	if !*quiet {
 		printer = sweep.NewPrinter(os.Stderr, len(jobs))
 		opts.Progress = printer.Handle
+	}
+	if *obsAddr != "" {
+		srv, err := obs.NewServer(*obsAddr)
+		if err != nil {
+			fatal(err)
+		}
+		nw := *workers
+		if nw <= 0 {
+			nw = runtime.GOMAXPROCS(0)
+		}
+		tracker := obs.NewSweepTracker(srv, len(jobs), nw)
+		// Chain the tracker behind the printer: one engine callback feeds
+		// both the terminal progress lines and the HTTP exposition.
+		prev := opts.Progress
+		opts.Progress = func(ev sweep.Event) {
+			if prev != nil {
+				prev(ev)
+			}
+			switch ev.Type {
+			case sweep.EventStart:
+				tracker.JobStart(ev.Job.Key)
+			case sweep.EventDone:
+				tracker.JobDone(ev.Job.Key, ev.IPC, ev.Cycles, ev.Elapsed)
+			case sweep.EventFail:
+				tracker.JobFail(ev.Job.Key, ev.Err)
+			case sweep.EventSkip:
+				tracker.JobSkip(ev.Job.Key)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "observability: http://%s/{metrics,state,progress,healthz}\n", srv.Addr())
 	}
 	// The instruments select the base runner; fault injection then wraps it
 	// rather than replacing it, so every job except the targeted one still

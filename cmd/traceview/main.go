@@ -1,33 +1,56 @@
-// Command traceview summarizes a packet trace produced by
-// `nocsim -trace <file>`: per-type delivery counts and latencies, plus the
-// head-flit hop histogram.
+// Command traceview summarizes packet-level trace artifacts.
 //
-// Example:
+// Its original mode reads a flit-event CSV produced by `nocsim -trace`:
+// per-type delivery counts and latencies, plus the head-flit hop histogram.
+// With -spans it instead reads a span JSONL log produced by `nocsim -spans`
+// and renders each sampled packet's hop timeline: cycle, router, VC, and
+// stall causes along the way.
+//
+// Examples:
 //
 //	nocsim -bench KMN -cycles 5000 -trace /tmp/kmn.csv
 //	traceview /tmp/kmn.csv
+//
+//	nocsim -bench KMN -cycles 5000 -spans /tmp/kmn.spans.jsonl
+//	traceview -spans -n 5 /tmp/kmn.spans.jsonl
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"sort"
 
+	"gpgpunoc/internal/obs"
 	"gpgpunoc/internal/packet"
 	"gpgpunoc/internal/trace"
 )
 
 func main() {
-	if len(os.Args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: traceview <trace.csv>")
+	spans := flag.Bool("spans", false, "input is a span JSONL log (from nocsim -spans)")
+	limit := flag.Int("n", 0, "with -spans, show at most N packet timelines (0 = all)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: traceview [-spans] [-n N] <trace.csv | spans.jsonl>")
 		os.Exit(2)
 	}
-	f, err := os.Open(os.Args[1])
+	f, err := os.Open(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	defer f.Close()
+
+	if *spans {
+		log, err := obs.ReadSpans(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		showSpans(log, *limit)
+		return
+	}
+
 	c, err := trace.ParseCSV(f)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -55,4 +78,81 @@ func main() {
 			fmt.Printf("  %2d hops: %d packets\n", h, s.Hops[h])
 		}
 	}
+}
+
+// showSpans renders each sampled packet's lifecycle as a cycle-ordered
+// timeline table.
+func showSpans(log *obs.SpanLog, limit int) {
+	fmt.Printf("span log: seed %d, sample rate %g, %d traced packets\n",
+		log.Seed, log.Rate, len(log.Traces))
+	n := len(log.Traces)
+	if limit > 0 && limit < n {
+		n = limit
+	}
+	for _, t := range log.Traces[:n] {
+		fmt.Printf("\npkt#%d %s N%d->N%d (%d flits, trace#%d)\n",
+			t.ID, t.Type, t.Src, t.Dst, t.Flits, t.Trace)
+		fmt.Printf("  %10s  %-10s %6s  %s\n", "cycle", "router", "vc", "event")
+		for _, e := range t.Events {
+			fmt.Printf("  %10d  %-10s %6s  %s\n",
+				e.Cycle, routerCol(e), vcCol(e), eventCol(e))
+		}
+	}
+	if n < len(log.Traces) {
+		fmt.Printf("\n... %d more packets (raise -n to show them)\n", len(log.Traces)-n)
+	}
+}
+
+func routerCol(e obs.Event) string {
+	switch e.Kind {
+	case obs.EvCreated, obs.EvReply:
+		return "-"
+	default:
+		return fmt.Sprintf("N%d", e.Node)
+	}
+}
+
+func vcCol(e obs.Event) string {
+	switch e.Kind {
+	case obs.EvInjected, obs.EvVCGrant, obs.EvHop:
+		return fmt.Sprintf("vc%d", e.VC)
+	default:
+		return "-"
+	}
+}
+
+func eventCol(e obs.Event) string {
+	switch e.Kind {
+	case obs.EvCreated:
+		return "created"
+	case obs.EvInjected:
+		return "injected into the fabric"
+	case obs.EvVCGrant:
+		return fmt.Sprintf("VC granted toward N%d", e.To)
+	case obs.EvHop:
+		return fmt.Sprintf("link traversal -> N%d", e.To)
+	case obs.EvStall:
+		return fmt.Sprintf("stalled %d cycle(s): %s", e.N, e.Cause)
+	case obs.EvEjected:
+		return "ejected at destination"
+	case obs.EvMCService:
+		return fmt.Sprintf("L2 %s", hitMiss(e.Hit))
+	case obs.EvDRAMQueued:
+		return "DRAM queued"
+	case obs.EvDRAMIssue:
+		return fmt.Sprintf("DRAM issue bank %d, row %s", e.Bank, hitMiss(e.Hit))
+	case obs.EvDRAMDone:
+		return "DRAM done"
+	case obs.EvReply:
+		return fmt.Sprintf("reply pkt#%d created", e.Reply)
+	default:
+		return e.Kind.String()
+	}
+}
+
+func hitMiss(hit bool) string {
+	if hit {
+		return "hit"
+	}
+	return "miss"
 }

@@ -67,6 +67,11 @@ type bank struct {
 	busyTill int64
 }
 
+// IssueHook observes command issue for span tracing: the access id, the
+// bank it issued to, whether it hit the open row, and the issue cycle.
+// Implementations must not touch channel state.
+type IssueHook func(id uint64, bank int, rowHit bool, now int64)
+
 // DRAM is one memory channel.
 type DRAM struct {
 	p        Params
@@ -74,6 +79,8 @@ type DRAM struct {
 	banks    []bank
 	inflight []inflight
 	done     []uint64
+
+	issueHook IssueHook
 
 	// Stats.
 	RowHits   int64
@@ -124,6 +131,10 @@ func (d *DRAM) AttachTelemetry(reg *telemetry.Registry, prefix string) {
 	reg.GaugeFunc(prefix+"row_misses", func() int64 { return d.RowMisses })
 	reg.GaugeFunc(prefix+"served", func() int64 { return d.Served })
 }
+
+// SetIssueHook installs a command-issue observer (nil disables it, the
+// default): one predictable nil check per issued command.
+func (d *DRAM) SetIssueHook(h IssueHook) { d.issueHook = h }
 
 // InFlight returns the number of issued, incomplete accesses.
 func (d *DRAM) InFlight() int { return len(d.inflight) }
@@ -177,12 +188,16 @@ func (d *DRAM) Tick(now int64) {
 		b := &d.banks[rq.bank]
 		lat := int64(d.p.MinLatency)
 		occ := int64(d.p.OccupancyHit)
-		if b.rowValid && b.openRow == rq.row {
+		rowHit := b.rowValid && b.openRow == rq.row
+		if rowHit {
 			d.RowHits++
 		} else {
 			d.RowMisses++
 			lat += int64(d.p.RowMissPenalty)
 			occ = int64(d.p.OccupancyMiss)
+		}
+		if d.issueHook != nil {
+			d.issueHook(rq.id, rq.bank, rowHit, now)
 		}
 		b.openRow, b.rowValid = rq.row, true
 		b.busyTill = now + occ

@@ -13,6 +13,7 @@ import (
 	"gpgpunoc/internal/mc"
 	"gpgpunoc/internal/mesh"
 	"gpgpunoc/internal/noc"
+	"gpgpunoc/internal/obs"
 	"gpgpunoc/internal/packet"
 	"gpgpunoc/internal/placement"
 	"gpgpunoc/internal/routing"
@@ -40,6 +41,18 @@ type Simulator struct {
 	// observability subsystem: the run loop drives its epoch sampler and
 	// the result carries it for export. Nil costs one branch per cycle.
 	Tel *telemetry.Telemetry
+
+	// Spans, when non-nil (see AttachSpans), is the per-packet span
+	// collector: every probe site in the fabric and the memory system
+	// records lifecycle events for the deterministic sample of packets it
+	// selects. Nil-gated like Tel.
+	Spans *obs.Spans
+
+	// Pub, when non-nil (see AttachObs), publishes /metrics, /state and
+	// /progress snapshots to an obs.Server at cycle boundaries. Driven
+	// from Step on the simulation goroutine, so every published snapshot
+	// sees a quiescent kernel.
+	Pub *obs.Publisher
 
 	SMs []*smcore.SM
 	MCs []*mc.MC
@@ -122,17 +135,82 @@ func (s *Simulator) AttachTelemetry(epochLen int64) *telemetry.Telemetry {
 		panic("gpu: telemetry attached twice")
 	}
 	t := telemetry.New(epochLen)
-	s.Net.AttachTelemetry(t.Reg)
-	for _, m := range s.MCs {
-		m.AttachTelemetry(t.Reg)
-	}
-	t.Reg.GaugeFunc("core.instructions", func() int64 { return s.gpu.Instructions })
-	t.Reg.GaugeFunc("core.mem_requests", func() int64 { return s.gpu.MemRequests })
-	t.Reg.GaugeFunc("core.stall_cycles", func() int64 { return s.gpu.StallCycles })
-	t.Reg.GaugeFunc("core.l1_misses", func() int64 { return s.gpu.L1Misses })
-	t.Reg.GaugeFunc("core.l2_misses", func() int64 { return s.gpu.L2Misses })
+	s.instrument(t.Reg)
 	s.Tel = t
 	return t
+}
+
+// instrument registers the full probe set — fabric, per-MC, core-side — on
+// reg. Shared by AttachTelemetry (epoch-sampled registry) and AttachObs
+// (live-exposition registry when telemetry is not attached).
+func (s *Simulator) instrument(reg *telemetry.Registry) {
+	s.Net.AttachTelemetry(reg)
+	for _, m := range s.MCs {
+		m.AttachTelemetry(reg)
+	}
+	reg.GaugeFunc("core.instructions", func() int64 { return s.gpu.Instructions })
+	reg.GaugeFunc("core.mem_requests", func() int64 { return s.gpu.MemRequests })
+	reg.GaugeFunc("core.stall_cycles", func() int64 { return s.gpu.StallCycles })
+	reg.GaugeFunc("core.l1_misses", func() int64 { return s.gpu.L1Misses })
+	reg.GaugeFunc("core.l2_misses", func() int64 { return s.gpu.L2Misses })
+}
+
+// AttachSpans installs per-packet span tracing: a deterministic sampler
+// (seeded by the run's RNG seed, so reruns trace the same packets) selects
+// the given fraction of request packets at injection, and every probe site
+// in the fabric, the MCs, and the DRAM channels records lifecycle events
+// for them and their replies. Call once, before Run. Rate 0 installs the
+// collector but samples nothing — useful for overhead equivalence checks.
+func (s *Simulator) AttachSpans(rate float64) (*obs.Spans, error) {
+	if s.Spans != nil {
+		panic("gpu: spans attached twice")
+	}
+	sp, err := obs.NewSpans(s.Cfg.Seed, rate)
+	if err != nil {
+		return nil, err
+	}
+	s.Net.SetSpans(sp)
+	for _, m := range s.MCs {
+		m.SetSpans(sp)
+	}
+	s.Spans = sp
+	return sp, nil
+}
+
+// AttachObs starts live HTTP exposition on srv: every `every` cycles the
+// run loop re-renders /metrics (Prometheus text from the probe registry),
+// /state (the mesh-state snapshot), and /progress. If telemetry is attached
+// (call AttachTelemetry first when using both), its registry backs /metrics;
+// otherwise AttachObs instruments a private registry read only at
+// publication boundaries. The first snapshot publishes immediately, so the
+// endpoints serve data before the first simulated cycle.
+func (s *Simulator) AttachObs(srv *obs.Server, every int64) *obs.Publisher {
+	if s.Pub != nil {
+		panic("gpu: obs publisher attached twice")
+	}
+	if every <= 0 {
+		panic("gpu: obs publication period must be positive")
+	}
+	var reg *telemetry.Registry
+	if s.Tel != nil {
+		reg = s.Tel.Reg
+	} else {
+		reg = telemetry.NewRegistry()
+		s.instrument(reg)
+	}
+	p := &obs.Publisher{
+		Srv:       srv,
+		Reg:       reg,
+		Mesh:      mesh.New(s.Cfg.NoC.Width, s.Cfg.NoC.Height),
+		State:     s.Net.StateSnapshot,
+		Every:     every,
+		Benchmark: s.Prof.Name,
+		Warmup:    int64(s.Cfg.WarmupCycles),
+		Total:     int64(s.Cfg.WarmupCycles) + int64(s.Cfg.MeasureCycles),
+	}
+	p.Publish(0, false)
+	s.Pub = p
+	return p
 }
 
 // Step advances the whole system one NoC cycle.
@@ -147,6 +225,9 @@ func (s *Simulator) Step() {
 	s.cycle++
 	if s.Tel != nil {
 		s.Tel.MaybeSample(s.cycle)
+	}
+	if s.Pub != nil {
+		s.Pub.MaybePublish(s.cycle)
 	}
 }
 
@@ -164,6 +245,11 @@ type Result struct {
 	// (AttachTelemetry); nil otherwise. Its exporters write the run's
 	// time-series, heatmap, and trace artifacts.
 	Tel *telemetry.Telemetry
+
+	// Spans carries the per-packet span collector when the run was traced
+	// (AttachSpans); nil otherwise. Its exporters write the span JSONL log
+	// and the Chrome trace-event file.
+	Spans *obs.Spans
 }
 
 // Metrics condenses the run into the flat, JSON-encodable summary the
@@ -248,6 +334,10 @@ func (s *Simulator) result(deadlocked bool, cycles int64) Result {
 		// epochs (cancellation, deadlock, odd run lengths) are captured.
 		s.Tel.Flush(s.cycle)
 	}
+	if s.Pub != nil {
+		// Final snapshot so late scrapes see the completed run.
+		s.Pub.Publish(s.cycle, true)
+	}
 	return Result{
 		Benchmark:  s.Prof.Name,
 		IPC:        g.IPC(),
@@ -256,6 +346,7 @@ func (s *Simulator) result(deadlocked bool, cycles int64) Result {
 		GPU:        g,
 		Net:        st,
 		Tel:        s.Tel,
+		Spans:      s.Spans,
 	}
 }
 

@@ -82,9 +82,10 @@ type Config struct {
 
 // DefaultConfig is the repository's canonical lint configuration: command
 // line tools may read the wall clock and print in user-facing order, the
-// sweep progress printer and the engine's job timing measure real elapsed
-// time (they never feed simulation state), and the lint package itself is
-// tooling, not simulation.
+// sweep progress printer, the engine's job timing, and the observability
+// progress publisher measure real elapsed time (they never feed
+// simulation state), and the lint package itself is tooling, not
+// simulation.
 func DefaultConfig(moduleRoot string) Config {
 	return Config{
 		ModuleRoot: moduleRoot,
@@ -92,6 +93,7 @@ func DefaultConfig(moduleRoot string) Config {
 			Determinism.Name: {
 				"cmd/",
 				"internal/lint/",
+				"internal/obs/progress.go",
 				"internal/sweep/engine.go",
 				"internal/sweep/progress.go",
 			},

@@ -17,6 +17,7 @@ import (
 	"gpgpunoc/internal/dram"
 	"gpgpunoc/internal/mesh"
 	"gpgpunoc/internal/noc"
+	"gpgpunoc/internal/obs"
 	"gpgpunoc/internal/packet"
 	"gpgpunoc/internal/stats"
 	"gpgpunoc/internal/telemetry"
@@ -47,7 +48,8 @@ type MC struct {
 	nextDRAMID uint64
 	svcTokens  int // clock-domain throttle
 
-	gpu *stats.GPU
+	gpu   *stats.GPU
+	spans *obs.Spans
 
 	// ReadsServed and WritesServed count serviced requests.
 	ReadsServed, WritesServed int64
@@ -88,6 +90,24 @@ func (m *MC) AttachTelemetry(reg *telemetry.Registry) {
 	reg.GaugeFunc(prefix+"reads_served", func() int64 { return m.ReadsServed })
 	reg.GaugeFunc(prefix+"writes_served", func() int64 { return m.WritesServed })
 	m.dram.AttachTelemetry(reg, prefix+"dram.")
+}
+
+// SetSpans installs the span collector (nil disables span tracing): the MC
+// records L2 lookup, DRAM queue/issue/completion, and reply-creation events
+// for sampled requests, and links each reply to its request's trace. The
+// DRAM issue hook is installed only when spans are on, so an untraced
+// channel pays nothing.
+func (m *MC) SetSpans(sp *obs.Spans) {
+	m.spans = sp
+	if sp == nil {
+		m.dram.SetIssueHook(nil)
+		return
+	}
+	m.dram.SetIssueHook(func(id uint64, bank int, rowHit bool, now int64) {
+		if req := m.dramWait[id]; req != nil && req.Sampled {
+			m.spans.DRAMIssue(req, int(m.Node), bank, rowHit, now)
+		}
+	})
 }
 
 // L2 exposes the cache for inspection in tests and reports.
@@ -135,6 +155,9 @@ func (m *MC) service(req *packet.Packet, now int64) {
 		m.ReadsServed++
 	}
 	res := m.l2.Access(m.localAddr(req.Access.Addr), isWrite)
+	if m.spans != nil && req.Sampled {
+		m.spans.MCService(req, int(m.Node), res.Hit, now)
+	}
 	if res.Eviction {
 		// Dirty L2 victim: write back to DRAM. Bandwidth matters, the
 		// completion does not (no reply); drop it on the floor if the DRAM
@@ -168,12 +191,22 @@ func (m *MC) tryDRAM(req *packet.Packet, now int64) bool {
 		return false
 	}
 	m.dramWait[id] = req
+	if m.spans != nil && req.Sampled {
+		m.spans.DRAMQueued(req, int(m.Node), now)
+	}
 	return true
 }
 
+// replyIDBit distinguishes reply packet IDs from request IDs: a reply
+// carries its request's ID with the top bit set, which is unique (request
+// IDs come from an incrementing counter and never reach 2^63) and makes
+// the transaction recoverable from either packet.
+const replyIDBit = uint64(1) << 63
+
 func (m *MC) makeReply(req *packet.Packet, now int64) *packet.Packet {
 	rt := req.Type.Reply()
-	return &packet.Packet{
+	rep := &packet.Packet{
+		ID:        req.ID | replyIDBit,
 		Type:      rt,
 		Src:       int(m.Node),
 		Dst:       req.Src,
@@ -187,6 +220,10 @@ func (m *MC) makeReply(req *packet.Packet, now int64) *packet.Packet {
 		ReqEjectedAt:  req.EjectedAt,
 		ReqTimed:      true,
 	}
+	if m.spans != nil && req.Sampled {
+		m.spans.LinkReply(req, rep, now)
+	}
+	return rep
 }
 
 // Tick advances the MC one NoC cycle.
@@ -217,6 +254,9 @@ func (m *MC) Tick(now int64) {
 			panic("mc: DRAM completion for unknown access")
 		}
 		delete(m.dramWait, id)
+		if m.spans != nil && req.Sampled {
+			m.spans.DRAMDone(req, int(m.Node), now)
+		}
 		m.outbox = append(m.outbox, m.makeReply(req, now))
 	}
 

@@ -5,6 +5,7 @@ import (
 
 	"gpgpunoc/internal/config"
 	"gpgpunoc/internal/mesh"
+	"gpgpunoc/internal/obs"
 	"gpgpunoc/internal/packet"
 	"gpgpunoc/internal/routing"
 	"gpgpunoc/internal/stats"
@@ -121,6 +122,29 @@ func (d *Dual) FlitsInFlight() int {
 func (d *Dual) AttachTelemetry(reg *telemetry.Registry) {
 	d.request.attachTelemetry(reg, "req.")
 	d.reply.attachTelemetry(reg, "rep.")
+}
+
+// SetSpans installs one span collector on both subnets. The sampling hash
+// is a pure function of the packet ID, so a transaction's request (on one
+// subnet) and reply (on the other) land in the same trace.
+func (d *Dual) SetSpans(sp *obs.Spans) {
+	d.request.SetSpans(sp)
+	d.reply.SetSpans(sp)
+}
+
+// StateSnapshot captures both subnets under the "req"/"rep" names. Call
+// only at a cycle boundary (after both subnets stepped).
+func (d *Dual) StateSnapshot() obs.MeshState {
+	return obs.MeshState{
+		Cycle:    d.request.cycle,
+		Width:    d.request.m.Width,
+		Height:   d.request.m.Height,
+		InFlight: d.FlitsInFlight(),
+		Subnets: []obs.SubnetState{
+			d.request.subnetState("req"),
+			d.reply.subnetState("rep"),
+		},
+	}
 }
 
 // Quiescent reports deadlock only if the whole system is stuck: flits exist

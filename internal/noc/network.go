@@ -32,6 +32,7 @@ import (
 
 	"gpgpunoc/internal/config"
 	"gpgpunoc/internal/mesh"
+	"gpgpunoc/internal/obs"
 	"gpgpunoc/internal/packet"
 	"gpgpunoc/internal/routing"
 	"gpgpunoc/internal/stats"
@@ -91,6 +92,14 @@ type Interconnect interface {
 	// reg. A nil registry leaves the fabric un-instrumented: every probe
 	// site then costs one predictable nil check, like a nil Tracer.
 	AttachTelemetry(reg *telemetry.Registry)
+	// SetSpans installs the per-packet span collector (nil disables span
+	// tracing; like a nil Tracer, disabled tracing costs one predictable
+	// nil check per probe site).
+	SetSpans(sp *obs.Spans)
+	// StateSnapshot captures per-link/per-VC occupancy and active-set
+	// sizes. Callers must invoke it only at a cycle boundary (between
+	// Step calls) so the kernel is never read mid-phase.
+	StateSnapshot() obs.MeshState
 }
 
 // injQueue is a node's bounded injection FIFO, in flits. Consumption
@@ -176,6 +185,7 @@ type Network struct {
 	stats    *stats.Net
 	tracer   Tracer
 	tel      *telemetry.NetProbes
+	spans    *obs.Spans
 	cycle    int64
 	moved    bool
 	lastMove int64
@@ -359,6 +369,9 @@ func (n *Network) Inject(p *packet.Packet) bool {
 	q.flits += p.Flits
 	n.inFlight += p.Flits
 	n.wakeInj(mesh.NodeID(p.Src))
+	if n.spans != nil {
+		n.spans.Offer(p)
+	}
 	return true
 }
 
@@ -373,6 +386,71 @@ func (n *Network) SetSink(node mesh.NodeID, s Sink) { n.sinks[node] = s }
 
 // SetTracer installs a lifecycle observer (nil disables tracing).
 func (n *Network) SetTracer(tr Tracer) { n.tracer = tr }
+
+// SetSpans installs the per-packet span collector (nil disables span
+// tracing). Probe sites gate on the collector pointer and the packet's
+// Sampled bit, so tracing off costs one branch per site.
+func (n *Network) SetSpans(sp *obs.Spans) { n.spans = sp }
+
+// StateSnapshot captures the fabric's occupancy for the /state endpoint.
+// Call only at a cycle boundary.
+func (n *Network) StateSnapshot() obs.MeshState {
+	st := n.subnetState("")
+	return obs.MeshState{
+		Cycle:    n.cycle,
+		Width:    n.m.Width,
+		Height:   n.m.Height,
+		InFlight: n.inFlight,
+		Subnets:  []obs.SubnetState{st},
+	}
+}
+
+// subnetState snapshots one physical network under a subnet name.
+func (n *Network) subnetState(name string) obs.SubnetState {
+	st := obs.SubnetState{
+		Subnet:          name,
+		Cycle:           n.cycle,
+		InFlight:        n.inFlight,
+		ActiveRouters:   len(n.active),
+		ActiveInjectors: len(n.injActive),
+		Links:           make([]obs.LinkState, 0, len(n.routers)*mesh.NumLinkDirs),
+		Nodes:           make([]obs.NodeState, 0, len(n.routers)),
+	}
+	for i := range n.routers {
+		rt := &n.routers[i]
+		for d := mesh.North; d < mesh.Local; d++ {
+			op := &rt.out[d]
+			if !op.exists {
+				continue
+			}
+			ls := obs.LinkState{
+				From:    i,
+				To:      int(op.downNode),
+				Dir:     d.String(),
+				VCs:     make([]int, n.vcs),
+				RegBusy: op.regValid,
+			}
+			down := &n.routers[op.downNode]
+			for v := 0; v < n.vcs; v++ {
+				ls.VCs[v] = down.in[op.downPort][v].buf.len()
+			}
+			st.Links = append(st.Links, ls)
+		}
+		c := n.m.Coord(rt.id)
+		ns := obs.NodeState{
+			Node:     i,
+			Row:      c.Row,
+			Col:      c.Col,
+			InjQ:     n.inj[i].flits,
+			LocalVCs: make([]int, n.vcs),
+		}
+		for v := 0; v < n.vcs; v++ {
+			ns.LocalVCs[v] = rt.in[mesh.Local][v].buf.len()
+		}
+		st.Nodes = append(st.Nodes, ns)
+	}
+	return st
+}
 
 // AttachTelemetry registers this network's probe set on reg (nil is a
 // no-op). Counting sites are gated on one nil check; instantaneous levels
@@ -468,6 +546,9 @@ func (n *Network) injectNode(id int) {
 			n.stats.CountInjection(p)
 			if n.tracer != nil {
 				n.tracer.PacketInjected(p, n.cycle)
+			}
+			if n.spans != nil && p.Sampled {
+				n.spans.Injected(p, best, n.cycle)
 			}
 		}
 		ivc := &rt.in[mesh.Local][q.vc]

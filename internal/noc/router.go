@@ -2,6 +2,7 @@ package noc
 
 import (
 	"gpgpunoc/internal/mesh"
+	"gpgpunoc/internal/obs"
 	"gpgpunoc/internal/packet"
 	"gpgpunoc/internal/vc"
 )
@@ -212,6 +213,11 @@ func (n *Network) vcAllocate(rt *router) {
 			op.owner[ovc] = idx
 			rt.in[idx/V][idx%V].outVC = ovc
 			rt.vaReq--
+			if n.spans != nil {
+				if pkt := rt.in[idx/V][idx%V].buf.front().flit.Pkt; pkt.Sampled {
+					n.spans.VCGrant(pkt, int(rt.id), int(op.downNode), ovc, n.cycle)
+				}
+			}
 			reqs[bestK] = -1 // granted; no second VC this cycle
 			rt.vaPtr[d] = idx + 1
 			if rt.vaPtr[d] == total {
@@ -306,7 +312,7 @@ func (n *Network) switchAllocateAndTraverse(rt *router) {
 			}
 		}
 	}
-	if n.tel != nil {
+	if n.tel != nil || n.spans != nil {
 		n.countStalls(rt, &movedVC)
 	}
 }
@@ -315,8 +321,10 @@ func (n *Network) switchAllocateAndTraverse(rt *router) {
 // flit did not move: no output VC granted (VC allocation), an allocated VC
 // with no downstream credits (credit), or a ready flit that lost the switch
 // or found the link register occupied (route). Flits still inside the
-// pipeline delay and ejection-blocked flits are not charged. Telemetry-only;
-// runs after SA so "moved this cycle" is known exactly.
+// pipeline delay and ejection-blocked flits are not charged. The same
+// attribution feeds the aggregate telemetry counters and, for sampled
+// packets, the per-packet span events; observability-only — runs after SA
+// so "moved this cycle" is known exactly.
 func (n *Network) countStalls(rt *router, movedVC *[mesh.NumPorts]int) {
 	for p := 0; p < mesh.NumPorts; p++ {
 		if rt.portFlits[p] == 0 {
@@ -333,13 +341,29 @@ func (n *Network) countStalls(rt *router, movedVC *[mesh.NumPorts]int) {
 			if n.cycle < ivc.buf.frontArrived()+n.pipeDelay {
 				continue // still in the first pipeline stage
 			}
+			var cause obs.StallCause
 			switch {
 			case ivc.outVC == -1:
-				n.tel.StallVCAlloc.Inc()
+				cause = obs.StallVCAlloc
 			case rt.out[ivc.route].credits[ivc.outVC] == 0:
-				n.tel.StallCredit.Inc()
+				cause = obs.StallCredit
 			default:
-				n.tel.StallRoute.Inc()
+				cause = obs.StallRoute
+			}
+			if n.tel != nil {
+				switch cause {
+				case obs.StallVCAlloc:
+					n.tel.StallVCAlloc.Inc()
+				case obs.StallCredit:
+					n.tel.StallCredit.Inc()
+				default:
+					n.tel.StallRoute.Inc()
+				}
+			}
+			if n.spans != nil {
+				if pkt := ivc.buf.front().flit.Pkt; pkt.Sampled {
+					n.spans.Stall(pkt, int(rt.id), cause, n.cycle)
+				}
 			}
 		}
 	}
@@ -387,6 +411,9 @@ func (n *Network) traverse(rt *router, p, v int, d mesh.Direction) bool {
 			if n.tel != nil {
 				n.tel.PacketEjected(f.Pkt, n.cycle)
 			}
+			if n.spans != nil && f.Pkt.Sampled {
+				n.spans.Ejected(f.Pkt, n.cycle)
+			}
 		}
 	} else {
 		op := &rt.out[d]
@@ -402,6 +429,9 @@ func (n *Network) traverse(rt *router, p, v int, d mesh.Direction) bool {
 		}
 		if n.tel != nil {
 			n.tel.LinkFlits[f.Pkt.Class()][n.m.LinkIndex(mesh.Link{From: rt.id, Dir: d})].Inc()
+		}
+		if n.spans != nil && f.Head && f.Pkt.Sampled {
+			n.spans.Hop(f.Pkt, int(rt.id), int(op.downNode), ivc.outVC, n.cycle)
 		}
 	}
 

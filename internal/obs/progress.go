@@ -1,0 +1,268 @@
+// Progress publication: a per-run Publisher that snapshots telemetry,
+// mesh state, and run progress at cycle boundaries, and a SweepTracker
+// that aggregates all workers of a cmd/sweep run behind one server.
+//
+// This file is the only place obs reads the wall clock (cycles/sec and
+// ETA are real-time quantities); it is allowlisted for the determinism
+// analyzer like internal/sweep/progress.go, and nothing here feeds
+// simulation state.
+
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"gpgpunoc/internal/mesh"
+	"gpgpunoc/internal/telemetry"
+)
+
+// RunProgress is the /progress payload of a single simulation run.
+type RunProgress struct {
+	Benchmark      string  `json:"benchmark,omitempty"`
+	Phase          string  `json:"phase"` // "warmup", "measure", "done"
+	Cycle          int64   `json:"cycle"`
+	TotalCycles    int64   `json:"total_cycles"`
+	CyclesPerSec   float64 `json:"cycles_per_sec"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	ETASeconds     float64 `json:"eta_seconds"`
+}
+
+// Publisher renders and publishes observability snapshots for one running
+// simulation. The simulation goroutine owns it: MaybePublish is called at
+// the top of each cycle (a cycle boundary), so every published snapshot
+// sees a consistent kernel. Publishing is O(registry + mesh) and happens
+// once per Every cycles; between publications the simulator pays one nil
+// check and one modulo.
+type Publisher struct {
+	Srv   *Server
+	Reg   *telemetry.Registry
+	Mesh  mesh.Mesh
+	State func() MeshState // cycle-boundary snapshot hook
+	Every int64            // publication period in cycles
+
+	Benchmark string
+	Warmup    int64
+	Total     int64 // warmup + measure cycles
+
+	start     time.Time
+	started   bool
+	lastCycle int64
+	lastTime  time.Time
+	lastRate  float64
+}
+
+// MaybePublish publishes when cycle lands on the publication period.
+func (p *Publisher) MaybePublish(cycle int64) {
+	if cycle%p.Every != 0 {
+		return
+	}
+	p.Publish(cycle, false)
+}
+
+// Publish renders all three endpoints at the given cycle boundary.
+func (p *Publisher) Publish(cycle int64, done bool) {
+	now := time.Now()
+	if !p.started {
+		p.start, p.lastTime, p.started = now, now, true
+	}
+	if dt := now.Sub(p.lastTime).Seconds(); dt > 0 && cycle > p.lastCycle {
+		p.lastRate = float64(cycle-p.lastCycle) / dt
+		p.lastCycle, p.lastTime = cycle, now
+	}
+
+	p.Srv.SetMetrics(RenderPrometheus(p.Reg, p.Mesh))
+	if p.State != nil {
+		if err := p.Srv.SetStateJSON(p.State()); err != nil {
+			panic(fmt.Sprintf("obs: publish state: %v", err)) // the snapshot types always marshal
+		}
+	}
+
+	prog := RunProgress{
+		Benchmark:      p.Benchmark,
+		Phase:          p.phase(cycle, done),
+		Cycle:          cycle,
+		TotalCycles:    p.Total,
+		CyclesPerSec:   p.lastRate,
+		ElapsedSeconds: now.Sub(p.start).Seconds(),
+	}
+	if p.lastRate > 0 && p.Total > cycle {
+		prog.ETASeconds = float64(p.Total-cycle) / p.lastRate
+	}
+	if err := p.Srv.SetProgressJSON(prog); err != nil {
+		panic(fmt.Sprintf("obs: publish progress: %v", err))
+	}
+}
+
+func (p *Publisher) phase(cycle int64, done bool) string {
+	switch {
+	case done:
+		return "done"
+	case cycle < p.Warmup:
+		return "warmup"
+	default:
+		return "measure"
+	}
+}
+
+// SweepProgress is the /progress payload of a cmd/sweep run.
+type SweepProgress struct {
+	TotalJobs      int     `json:"total_jobs"`
+	Done           int     `json:"done"`
+	Running        int     `json:"running"`
+	Failed         int     `json:"failed"`
+	Skipped        int     `json:"skipped"`
+	SimCycles      int64   `json:"sim_cycles"`
+	CyclesPerSec   float64 `json:"cycles_per_sec"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	ETASeconds     float64 `json:"eta_seconds"`
+}
+
+// SweepJob is one job's row in the sweep /state payload.
+type SweepJob struct {
+	Key     string  `json:"key"`
+	Status  string  `json:"status"` // "running", "ok", "fail", "skip"
+	IPC     float64 `json:"ipc,omitempty"`
+	Seconds float64 `json:"seconds,omitempty"`
+	Error   string  `json:"error,omitempty"`
+}
+
+// SweepTracker aggregates progress across all workers of a sweep behind
+// one Server. It is driven from the engine's Progress callback, which may
+// fire from any worker goroutine, so every method locks.
+type SweepTracker struct {
+	mu      sync.Mutex
+	srv     *Server
+	total   int
+	workers int
+	start   time.Time
+
+	done, running, failed, skipped int
+	simCycles                      int64
+	jobSeconds                     float64
+	jobs                           []SweepJob
+	index                          map[string]int
+}
+
+// NewSweepTracker returns a tracker over total jobs running on the given
+// worker count, publishing to srv. It publishes an initial empty snapshot
+// so the endpoints are live before the first job finishes.
+func NewSweepTracker(srv *Server, total, workers int) *SweepTracker {
+	if workers < 1 {
+		workers = 1
+	}
+	t := &SweepTracker{srv: srv, total: total, workers: workers,
+		start: time.Now(), index: map[string]int{}}
+	t.mu.Lock()
+	t.publishLocked()
+	t.mu.Unlock()
+	return t
+}
+
+// JobStart records a job entering a worker.
+func (t *SweepTracker) JobStart(key string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.running++
+	t.upsertLocked(key, SweepJob{Key: key, Status: "running"})
+	t.publishLocked()
+}
+
+// JobDone records a successful job: its measured IPC, the simulated cycle
+// count, and real elapsed time.
+func (t *SweepTracker) JobDone(key string, ipc float64, cycles int64, elapsed time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.endLocked()
+	t.done++
+	t.simCycles += cycles
+	t.jobSeconds += elapsed.Seconds()
+	t.upsertLocked(key, SweepJob{Key: key, Status: "ok", IPC: ipc, Seconds: elapsed.Seconds()})
+	t.publishLocked()
+}
+
+// JobFail records a failed job.
+func (t *SweepTracker) JobFail(key string, err error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.endLocked()
+	t.failed++
+	msg := ""
+	if err != nil {
+		msg = err.Error()
+	}
+	t.upsertLocked(key, SweepJob{Key: key, Status: "fail", Error: msg})
+	t.publishLocked()
+}
+
+// JobSkip records a job skipped by resume.
+func (t *SweepTracker) JobSkip(key string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.skipped++
+	t.upsertLocked(key, SweepJob{Key: key, Status: "skip"})
+	t.publishLocked()
+}
+
+func (t *SweepTracker) endLocked() {
+	if t.running > 0 {
+		t.running--
+	}
+}
+
+func (t *SweepTracker) upsertLocked(key string, j SweepJob) {
+	if i, ok := t.index[key]; ok {
+		t.jobs[i] = j
+		return
+	}
+	t.index[key] = len(t.jobs)
+	t.jobs = append(t.jobs, j)
+}
+
+// publishLocked re-renders all three endpoints from the tracker state.
+func (t *SweepTracker) publishLocked() {
+	elapsed := time.Since(t.start).Seconds()
+	prog := SweepProgress{
+		TotalJobs: t.total, Done: t.done, Running: t.running,
+		Failed: t.failed, Skipped: t.skipped,
+		SimCycles: t.simCycles, ElapsedSeconds: elapsed,
+	}
+	if elapsed > 0 {
+		prog.CyclesPerSec = float64(t.simCycles) / elapsed
+	}
+	finished := t.done + t.failed
+	if remaining := t.total - finished - t.skipped; remaining > 0 && finished > 0 {
+		meanJob := t.jobSeconds / float64(finished)
+		prog.ETASeconds = float64(remaining) * meanJob / float64(t.workers)
+	}
+	if err := t.srv.SetProgressJSON(prog); err != nil {
+		panic(fmt.Sprintf("obs: publish sweep progress: %v", err))
+	}
+
+	// /state for a sweep is the job table, stable by key.
+	jobs := append([]SweepJob(nil), t.jobs...)
+	sort.Slice(jobs, func(i, j int) bool { return jobs[i].Key < jobs[j].Key })
+	if err := t.srv.SetStateJSON(struct {
+		Jobs []SweepJob `json:"jobs"`
+	}{Jobs: jobs}); err != nil {
+		panic(fmt.Sprintf("obs: publish sweep state: %v", err))
+	}
+
+	// /metrics for a sweep is a small hand-rendered exposition.
+	t.srv.SetMetrics([]byte(fmt.Sprintf(
+		"# HELP sweep_jobs_total Jobs in the sweep grid.\n"+
+			"# TYPE sweep_jobs_total gauge\n"+
+			"sweep_jobs_total %d\n"+
+			"# HELP sweep_jobs Jobs by terminal status.\n"+
+			"# TYPE sweep_jobs gauge\n"+
+			"sweep_jobs{status=\"done\"} %d\n"+
+			"sweep_jobs{status=\"running\"} %d\n"+
+			"sweep_jobs{status=\"failed\"} %d\n"+
+			"sweep_jobs{status=\"skipped\"} %d\n"+
+			"# HELP sweep_sim_cycles_total Simulated cycles completed across all jobs.\n"+
+			"# TYPE sweep_sim_cycles_total counter\n"+
+			"sweep_sim_cycles_total %d\n",
+		t.total, t.done, t.running, t.failed, t.skipped, t.simCycles)))
+}

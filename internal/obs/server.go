@@ -1,0 +1,121 @@
+// The HTTP exposition server. The server never touches simulator state:
+// the simulation goroutine renders snapshots to bytes at cycle boundaries
+// and publishes them with Set*; handlers only read the latest published
+// bytes under a read lock. That split keeps the kernel single-threaded
+// and makes /metrics and /state safe under the race detector mid-run.
+
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Server serves the observability endpoints: /metrics (Prometheus text),
+// /state (mesh-state JSON), /progress (run/sweep progress JSON), and
+// /healthz. Construct with NewServer; publish snapshots with SetMetrics,
+// SetStateJSON, and SetProgressJSON.
+type Server struct {
+	mu       sync.RWMutex
+	metrics  []byte
+	state    []byte
+	progress []byte
+
+	ln   net.Listener
+	http *http.Server
+}
+
+// NewServer binds addr (e.g. "127.0.0.1:9177", or ":0" for an ephemeral
+// port) and starts serving in a background goroutine.
+func NewServer(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s := &Server{ln: ln}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/state", s.handleState)
+	mux.HandleFunc("/progress", s.handleProgress)
+	s.http = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		// ErrServerClosed after Close is the clean shutdown path; any
+		// other serve error just stops the endpoint — the simulation
+		// must not die because observability did.
+		_ = s.http.Serve(ln)
+	}()
+	return s, nil
+}
+
+// Addr returns the bound listen address (resolves ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server.
+func (s *Server) Close() error { return s.http.Close() }
+
+// SetMetrics publishes a rendered Prometheus exposition.
+func (s *Server) SetMetrics(b []byte) {
+	s.mu.Lock()
+	s.metrics = b
+	s.mu.Unlock()
+}
+
+// SetStateJSON marshals and publishes a /state payload.
+func (s *Server) SetStateJSON(v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("obs: marshal state: %w", err)
+	}
+	s.mu.Lock()
+	s.state = b
+	s.mu.Unlock()
+	return nil
+}
+
+// SetProgressJSON marshals and publishes a /progress payload.
+func (s *Server) SetProgressJSON(v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("obs: marshal progress: %w", err)
+	}
+	s.mu.Lock()
+	s.progress = b
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// serveSnapshot writes the latest published bytes, or 503 before the
+// first publication.
+func (s *Server) serveSnapshot(w http.ResponseWriter, contentType string, read func() []byte) {
+	s.mu.RLock()
+	b := read()
+	s.mu.RUnlock()
+	if len(b) == 0 {
+		http.Error(w, "no snapshot published yet", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", contentType)
+	_, _ = w.Write(b)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.serveSnapshot(w, "text/plain; version=0.0.4; charset=utf-8", func() []byte { return s.metrics })
+}
+
+func (s *Server) handleState(w http.ResponseWriter, _ *http.Request) {
+	s.serveSnapshot(w, "application/json", func() []byte { return s.state })
+}
+
+func (s *Server) handleProgress(w http.ResponseWriter, _ *http.Request) {
+	s.serveSnapshot(w, "application/json", func() []byte { return s.progress })
+}

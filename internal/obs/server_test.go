@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, string, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body), resp.Header.Get("Content-Type")
+}
+
+func TestServerEndpoints(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	if code, body, _ := get(t, base+"/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+	// Before the first publication every snapshot endpoint is 503, not an
+	// empty 200 a scraper would mistake for data.
+	for _, ep := range []string{"/metrics", "/state", "/progress"} {
+		if code, _, _ := get(t, base+ep); code != http.StatusServiceUnavailable {
+			t.Fatalf("%s before publish = %d, want 503", ep, code)
+		}
+	}
+
+	srv.SetMetrics([]byte("noc_core_instructions 42\n"))
+	if err := srv.SetStateJSON(MeshState{Cycle: 7, Width: 8, Height: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.SetProgressJSON(RunProgress{Phase: "measure", Cycle: 7}); err != nil {
+		t.Fatal(err)
+	}
+
+	code, body, ct := get(t, base+"/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "noc_core_instructions 42") {
+		t.Fatalf("/metrics = %d %q", code, body)
+	}
+	if !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("/metrics content type %q lacks exposition version", ct)
+	}
+	code, body, ct = get(t, base+"/state")
+	if code != http.StatusOK || !strings.Contains(body, `"cycle":7`) {
+		t.Fatalf("/state = %d %q", code, body)
+	}
+	if !strings.Contains(ct, "application/json") {
+		t.Fatalf("/state content type %q", ct)
+	}
+	if code, body, _ = get(t, base+"/progress"); code != http.StatusOK || !strings.Contains(body, `"phase":"measure"`) {
+		t.Fatalf("/progress = %d %q", code, body)
+	}
+}
+
+func TestServerBadAddr(t *testing.T) {
+	if _, err := NewServer("256.0.0.1:bad"); err == nil {
+		t.Fatal("nonsense address accepted")
+	}
+}

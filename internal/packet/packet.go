@@ -131,6 +131,14 @@ type Packet struct {
 	ReqInjectedAt int64
 	ReqEjectedAt  int64
 	ReqTimed      bool
+
+	// Sampled marks the packet as selected by the observability span
+	// sampler (internal/obs): probe sites record lifecycle events only
+	// for sampled packets, so an unsampled packet costs one boolean test
+	// per site. Replies inherit the request's decision at the memory
+	// controller. Purely observational — nothing in the simulation reads
+	// it.
+	Sampled bool
 }
 
 // Class returns the packet's traffic class.
