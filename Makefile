@@ -3,8 +3,8 @@ SMOKE_OUT := $(shell mktemp -u /tmp/sweep-smoke.XXXXXX.jsonl)
 TELEMETRY_DEMO_OUT ?= telemetry-demo
 
 PROFILE_OUT ?= profiles
-BENCH_JSON ?= BENCH_PR4.json
-BENCH_BASELINE ?= BENCH_PR4.json
+BENCH_JSON ?= BENCH_PR6.json
+BENCH_BASELINE ?= BENCH_PR6.json
 BENCH_DIFF_JSON := $(shell mktemp -u /tmp/bench-diff.XXXXXX.json)
 OBS_DEMO_ADDR ?= 127.0.0.1:9177
 
@@ -59,13 +59,14 @@ telemetry-demo:
 	@echo "artifacts in $(TELEMETRY_DEMO_OUT)/{bottom,diamond}/{series.jsonl,heatmap.csv,trace.json}"
 
 # bench-json measures the headline cycle-kernel benchmarks — full-GPU cycle
-# under the active-set and reference steppers, plus the saturated router
-# step — as 8 fixed-iteration runs each, and writes the min/median/max
-# summary to $(BENCH_JSON) via cmd/benchjson. Fixed iterations + medians
-# make the file meaningful to diff between commits on the same machine.
+# under the active-set and reference steppers, the 16×16 large mesh at each
+# worker count, plus the saturated router step — as 8 fixed-iteration runs
+# each, and writes the min/median/max summary to $(BENCH_JSON) via
+# cmd/benchjson. Fixed iterations + medians make the file meaningful to
+# diff between commits on the same machine.
 bench-json:
 	$(GO) test -run '^$$' \
-		-bench '^(BenchmarkGPUCycle|BenchmarkGPUCycleReference|BenchmarkRouterStep)$$' \
+		-bench '^(BenchmarkGPUCycle|BenchmarkGPUCycleReference|BenchmarkGPUCycleLarge|BenchmarkRouterStep)$$' \
 		-benchtime 20000x -count 8 . | $(GO) run ./cmd/benchjson -out $(BENCH_JSON)
 	@echo "wrote $(BENCH_JSON)"
 

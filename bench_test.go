@@ -10,6 +10,7 @@
 package gpgpunoc_test
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"strconv"
@@ -204,7 +205,7 @@ func BenchmarkNetworkDivision(b *testing.B) {
 
 func runScheme(b *testing.B, cfg config.Config, bench string) gpu.Result {
 	b.Helper()
-	res, err := gpu.RunBenchmark(cfg, bench)
+	res, err := gpu.Run(context.Background(), cfg, bench, gpu.RunOptions{})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -373,17 +374,42 @@ func BenchmarkGPUCycleReference(b *testing.B) {
 	}
 }
 
+// BenchmarkGPUCycleLarge measures full-system cycles per second on a 16×16
+// mesh (240 SMs + 16 MCs — 4× the paper's system), where the parallel
+// cycle kernel has enough rows per domain to amortize the barriers. The
+// workers=N/workers=1 ratio is the kernel's measured speedup; results are
+// bit-identical across worker counts (equivalence_test.go).
+func BenchmarkGPUCycleLarge(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := config.Default()
+			cfg.NoC.Width, cfg.NoC.Height = 16, 16
+			cfg.NoC.Workers = workers
+			cfg.Mem.NumMCs = 16
+			cfg.Core.NumSMs = 240
+			sim, err := gpu.New(cfg, workload.MustGet("KMN"))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sim.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sim.Step()
+			}
+		})
+	}
+}
+
 // BenchmarkGPUCycleTelemetry measures the same full-system cycle path with
 // the telemetry subsystem attached. Compared against BenchmarkGPUCycle it
-// bounds the instrumented overhead; the disabled path (no AttachTelemetry)
+// bounds the instrumented overhead; the disabled path (no telemetry)
 // is BenchmarkGPUCycle itself, which now carries the nil probe checks.
 func BenchmarkGPUCycleTelemetry(b *testing.B) {
 	cfg := config.Default()
-	sim, err := gpu.New(cfg, workload.MustGet("KMN"))
+	sim, err := gpu.NewInstrumented(cfg, workload.MustGet("KMN"), gpu.Instrumentation{TelemetryEpoch: 1000})
 	if err != nil {
 		b.Fatal(err)
 	}
-	sim.AttachTelemetry(1000)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sim.Step()

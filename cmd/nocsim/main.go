@@ -84,35 +84,39 @@ func main() {
 		os.Exit(code)
 	}
 
+	for _, w := range cfg.Warnings() {
+		fmt.Fprintln(os.Stderr, w)
+	}
+
 	prof, err := workload.Get(*bench)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		exit(1)
 	}
-	sim, err := gpu.New(cfg, prof)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		exit(1)
+	inst := gpu.Instrumentation{
+		TelemetryEpoch: *telEpoch,
+		Spans:          of.SpansEnabled(),
+		SpanRate:       of.SampleRate,
 	}
-	sim.SanitizeEvery = *sanitize
-	if *telEpoch > 0 {
-		sim.AttachTelemetry(*telEpoch)
-	}
-	if of.SpansEnabled() {
-		if _, err := sim.AttachSpans(of.SampleRate); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			exit(1)
-		}
-	}
+	var srv *obs.Server
 	if of.Addr != "" {
-		srv, err := obs.NewServer(of.Addr)
+		srv, err = obs.NewServer(of.Addr)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			exit(1)
 		}
 		// No Close: the server lives until process exit so late scrapes
 		// still see the final snapshot.
-		sim.AttachObs(srv, of.PublishEvery)
+		inst.Obs = srv
+		inst.PublishEvery = of.PublishEvery
+	}
+	sim, err := gpu.NewInstrumented(cfg, prof, inst)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		exit(1)
+	}
+	sim.SanitizeEvery = *sanitize
+	if srv != nil {
 		fmt.Printf("observability: http://%s/{metrics,state,progress,healthz}\n", srv.Addr())
 	}
 	var traceFlush func() error

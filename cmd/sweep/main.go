@@ -35,7 +35,7 @@ func main() {
 	var (
 		specFile = flag.String("spec", "", "JSON sweep spec file (grid flags are ignored when set)")
 		out      = flag.String("out", "sweep.jsonl", "JSONL results file (appended)")
-		workers  = flag.Int("workers", 0, "concurrent jobs (default GOMAXPROCS)")
+		jobsN    = flag.Int("jobs", 0, "concurrent jobs (default GOMAXPROCS); -workers is the per-job cycle-kernel domain count")
 		timeout  = flag.Duration("timeout", 0, "per-job timeout, e.g. 30s (default none)")
 		resume   = flag.Bool("resume", true, "skip jobs whose fingerprint is already in -out")
 		dryRun   = flag.Bool("dry-run", false, "print the expanded job list and exit")
@@ -105,7 +105,7 @@ func main() {
 		fatal(err)
 	}
 
-	opts := sweep.Options{Workers: *workers, Timeout: *timeout, Done: done}
+	opts := sweep.Options{Workers: *jobsN, Timeout: *timeout, Done: done}
 	var printer *sweep.Printer
 	if !*quiet {
 		printer = sweep.NewPrinter(os.Stderr, len(jobs))
@@ -116,7 +116,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		nw := *workers
+		nw := *jobsN
 		if nw <= 0 {
 			nw = runtime.GOMAXPROCS(0)
 		}

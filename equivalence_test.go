@@ -1,16 +1,19 @@
 // Stepper-equivalence suite: the event-sparse active-set cycle kernel must
 // be indistinguishable from the naive full-scan reference stepper — not
-// statistically close, bit-identical. Anything less means the active set
-// dropped a wakeup or reordered an arbitration, and every derived result
-// (figure tables, latency distributions, telemetry) silently drifts.
+// statistically close, bit-identical — and the parallel kernel must be
+// indistinguishable from both at every worker count. Anything less means
+// the active set dropped a wakeup, an arbitration got reordered, or a
+// cross-domain merge ran out of order, and every derived result (figure
+// tables, latency distributions, telemetry) silently drifts.
 //
 // Coverage: the eight Figure 9 schemes (every placement, routing, and VC
-// policy family) × three seeds, plus the dual physical subnets with full-
-// and half-width channels, each compared on IPC, cycle count, the complete
-// stats.Net (including floating-point Welford latency accumulators, which
-// pin the ejection order), and the full telemetry JSONL export. Runs are
-// sanitized, so CheckInvariants — including the active-set invariant — is
-// exercised under the optimized path throughout.
+// policy family) × three seeds × workers ∈ {1, 2, 4, 8}, plus the dual
+// physical subnets with full- and half-width channels, each compared on
+// IPC, cycle count, the complete stats.Net (including floating-point
+// Welford latency accumulators, which pin the ejection order), and the
+// full telemetry JSONL export. Runs are sanitized, so CheckInvariants —
+// including the active-set invariant — is exercised under the optimized
+// path throughout.
 package gpgpunoc_test
 
 import (
@@ -36,20 +39,41 @@ func equivCfg() config.Config {
 	return cfg
 }
 
-// runBoth runs the same benchmark under both steppers, instrumented
-// (telemetry every 400 cycles) and sanitized (invariants every 256 cycles).
+// runOne runs the benchmark instrumented (telemetry every 400 cycles) and
+// sanitized (invariants every 256 cycles) with the given kernel worker
+// count (0 keeps cfg's).
+func runOne(t *testing.T, cfg config.Config, bench string, workers int) gpu.Result {
+	t.Helper()
+	res, err := gpu.Run(context.Background(), cfg, bench, gpu.RunOptions{
+		SanitizeEvery:  256,
+		TelemetryEpoch: 400,
+		Workers:        workers,
+	})
+	if err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	return res
+}
+
+// runBoth runs the same benchmark under both steppers.
 func runBoth(t *testing.T, cfg config.Config, bench string) (opt, ref gpu.Result) {
 	t.Helper()
 	run := func(reference bool) gpu.Result {
 		c := cfg
 		c.NoC.ReferenceStepper = reference
-		res, err := gpu.RunBenchmarkInstrumented(context.Background(), c, bench, 256, 400)
-		if err != nil {
-			t.Fatalf("reference=%v: %v", reference, err)
-		}
-		return res
+		return runOne(t, c, bench, 0)
 	}
 	return run(false), run(true)
+}
+
+// checkWorkers runs the benchmark at workers ∈ {2, 4, 8} and requires each
+// run bit-identical to the single-threaded baseline.
+func checkWorkers(t *testing.T, cfg config.Config, bench string, base gpu.Result) {
+	t.Helper()
+	for _, w := range []int{2, 4, 8} {
+		res := runOne(t, cfg, bench, w)
+		compareResults(t, res, base)
+	}
 }
 
 // compareResults asserts bit-identical observable state between the two
@@ -82,7 +106,8 @@ func compareResults(t *testing.T, opt, ref gpu.Result) {
 }
 
 // TestStepperEquivalenceFig9Schemes covers the full Figure 9 design space,
-// three seeds each.
+// three seeds each: active-set vs reference stepper, then the parallel
+// kernel at workers ∈ {2, 4, 8} against the single-threaded run.
 func TestStepperEquivalenceFig9Schemes(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-seed design-space sweep")
@@ -95,6 +120,7 @@ func TestStepperEquivalenceFig9Schemes(t *testing.T) {
 				cfg.Seed = seed
 				opt, ref := runBoth(t, cfg, "KMN")
 				compareResults(t, opt, ref)
+				checkWorkers(t, cfg, "KMN", opt)
 			})
 		}
 	}
@@ -112,6 +138,7 @@ func TestStepperEquivalenceDual(t *testing.T) {
 			cfg.NoC.VCsPerPort = 4 // 2 per subnet
 			opt, ref := runBoth(t, cfg, "RED")
 			compareResults(t, opt, ref)
+			compareResults(t, runOne(t, cfg, "RED", 4), opt)
 		})
 	}
 }
@@ -126,6 +153,7 @@ func TestStepperEquivalenceAsymmetric(t *testing.T) {
 	cfg.NoC.VCPolicy = config.VCAsymmetric
 	opt, ref := runBoth(t, cfg, "BFS")
 	compareResults(t, opt, ref)
+	compareResults(t, runOne(t, cfg, "BFS", 4), opt)
 }
 
 // TestFigureTableEquivalence regenerates a figure table under the parallel

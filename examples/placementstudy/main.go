@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -20,8 +21,9 @@ import (
 func main() {
 	const bench = "KMN"
 	m := mesh.New(8, 8)
+	ctx := context.Background()
 
-	base, err := gpu.RunBenchmark(config.Default(), bench)
+	base, err := gpu.Run(ctx, config.Default(), bench, gpu.RunOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -42,7 +44,7 @@ func main() {
 			log.Fatal(err)
 		}
 		hops, _, _ := pl.AverageHops()
-		res, err := gpu.RunBenchmark(s.Apply(config.Default()), bench)
+		res, err := gpu.Run(ctx, s.Apply(config.Default()), bench, gpu.RunOptions{})
 		if err != nil {
 			log.Fatal(err)
 		}

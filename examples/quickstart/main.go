@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -17,8 +18,9 @@ func main() {
 	// The baseline system: 56 SMs + 8 MCs on an 8x8 mesh, bottom MC
 	// placement, XY routing, VCs split 1:1 between requests and replies.
 	cfg := config.Default()
+	ctx := context.Background()
 
-	baseline, err := gpu.RunBenchmark(cfg, "KMN")
+	baseline, err := gpu.Run(ctx, cfg, "KMN", gpu.RunOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -28,7 +30,7 @@ func main() {
 	// monopolizing — safe because the link-usage analysis proves request
 	// and reply traffic never share a directed link (Section 3.2.1).
 	best := core.BestProposed.Apply(cfg)
-	proposed, err := gpu.RunBenchmark(best, "KMN")
+	proposed, err := gpu.Run(ctx, best, "KMN", gpu.RunOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}

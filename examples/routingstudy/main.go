@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -28,7 +29,7 @@ func main() {
 		for i, r := range routings {
 			cfg := config.Default()
 			cfg.NoC.Routing = r
-			res, err := gpu.RunBenchmark(cfg, b)
+			res, err := gpu.Run(context.Background(), cfg, b, gpu.RunOptions{})
 			if err != nil {
 				log.Fatal(err)
 			}

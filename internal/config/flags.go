@@ -21,6 +21,7 @@ type Overrides struct {
 	PhysicalSubnets      *bool
 	SubnetHalfWidth      *bool
 	ReferenceStepper     *bool
+	Workers              *int
 	WarmupCycles         *int
 	MeasureCycles        *int
 	Seed                 *uint64
@@ -56,6 +57,9 @@ func (o Overrides) Apply(base Config) Config {
 	if o.ReferenceStepper != nil {
 		base.NoC.ReferenceStepper = *o.ReferenceStepper
 	}
+	if o.Workers != nil {
+		base.NoC.Workers = *o.Workers
+	}
 	if o.WarmupCycles != nil {
 		base.WarmupCycles = *o.WarmupCycles
 	}
@@ -90,6 +94,7 @@ type Flags struct {
 	dual      bool
 	halfwidth bool
 	refstep   bool
+	workers   int
 	unsafe    bool
 }
 
@@ -112,6 +117,7 @@ func BindFlags(fs *flag.FlagSet) *Flags {
 	fs.BoolVar(&f.dual, "dual", false, "use two physical subnetworks instead of VC separation")
 	fs.BoolVar(&f.halfwidth, "halfwidth", false, "with -dual, give each subnet half-width channels (equal wire budget)")
 	fs.BoolVar(&f.refstep, "reference-stepper", false, "use the naive full-scan cycle kernel (bit-identical, slower; for equivalence testing)")
+	fs.IntVar(&f.workers, "workers", d.NoC.Workers, "parallel cycle-kernel domains (0 = GOMAXPROCS, 1 = serial; results are bit-identical)")
 	fs.BoolVar(&f.unsafe, "allow-unsafe", false, "accept configurations the protocol-deadlock analysis rejects")
 	return f
 }
@@ -152,6 +158,8 @@ func (f *Flags) Overrides() Overrides {
 			o.SubnetHalfWidth = &f.halfwidth
 		case "reference-stepper":
 			o.ReferenceStepper = &f.refstep
+		case "workers":
+			o.Workers = &f.workers
 		case "allow-unsafe":
 			o.AllowUnsafe = &f.unsafe
 		}

@@ -1,12 +1,14 @@
 package experiments
 
 import (
-	"gpgpunoc/internal/config"
-	"gpgpunoc/internal/gpu"
+	"context"
 	"math"
 	"strconv"
 	"strings"
 	"testing"
+
+	"gpgpunoc/internal/config"
+	"gpgpunoc/internal/gpu"
 )
 
 // quick options: a 3-benchmark subset at reduced cycles keeps the whole
@@ -279,7 +281,7 @@ func TestScalingHoldsAcrossMeshes(t *testing.T) {
 }
 
 func TestSummaryFormat(t *testing.T) {
-	res, err := gpu.RunBenchmark(quick("CP").apply(mustDefault()), "CP")
+	res, err := gpu.Run(context.Background(), quick("CP").apply(mustDefault()), "CP", gpu.RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -57,7 +57,12 @@ type Simulator struct {
 	SMs []*smcore.SM
 	MCs []*mc.MC
 
+	// gpu holds the core-side counters, written only from the stepping
+	// goroutine (SM Tick and fetch paths). MC sinks run on kernel worker
+	// goroutines under the parallel cycle kernel, so each MC writes its own
+	// mcGPU shard instead; gpuTotals folds the shards at cycle boundaries.
 	gpu    stats.GPU
+	mcGPU  []stats.GPU
 	nextID uint64
 	cycle  int64
 }
@@ -116,21 +121,100 @@ func New(cfg config.Config, prof workload.Profile) (*Simulator, error) {
 	for i := cfg.Core.NumSMs; i < len(cores); i++ {
 		net.SetSink(cores[i], func(packet.Flit) bool { return true })
 	}
+	s.mcGPU = make([]stats.GPU, len(pl.MCs))
 	for i := range pl.MCs {
-		ctrl := mc.New(i, pl.MCNode(i), cfg.Mem, net, &s.gpu)
+		ctrl := mc.New(i, pl.MCNode(i), cfg.Mem, net, &s.mcGPU[i])
 		s.MCs = append(s.MCs, ctrl)
 		net.SetSink(ctrl.Node, ctrl.Sink(func() int64 { return s.cycle }))
 	}
 	return s, nil
 }
 
-// AttachTelemetry instruments the whole system with the cycle-domain
+// NewInstrumented is New plus observability applied at construction, before
+// the first cycle: telemetry when inst.TelemetryEpoch > 0, span tracing when
+// inst.Spans, live HTTP exposition when inst.Obs is set. It replaces the
+// former AttachTelemetry/AttachSpans/AttachObs call sequence.
+func NewInstrumented(cfg config.Config, prof workload.Profile, inst Instrumentation) (*Simulator, error) {
+	s, err := New(cfg, prof)
+	if err != nil {
+		return nil, err
+	}
+	if inst.TelemetryEpoch > 0 {
+		s.attachTelemetry(inst.TelemetryEpoch)
+	}
+	if inst.Spans {
+		if _, err := s.attachSpans(inst.SpanRate); err != nil {
+			s.Close()
+			return nil, err
+		}
+	}
+	if inst.Obs != nil {
+		every := inst.PublishEvery
+		if every <= 0 {
+			every = defaultPublishEvery
+		}
+		s.attachObs(inst.Obs, every)
+	}
+	return s, nil
+}
+
+// defaultPublishEvery is the snapshot period NewInstrumented uses when an
+// obs server is requested without an explicit cadence.
+const defaultPublishEvery = 1024
+
+// Instrumentation selects the observability to build into a simulator at
+// construction. The zero value instruments nothing.
+type Instrumentation struct {
+	// TelemetryEpoch > 0 attaches the cycle-domain telemetry subsystem
+	// sampling every TelemetryEpoch cycles; the result's Tel field carries
+	// the collected series for export.
+	TelemetryEpoch int64
+
+	// Spans attaches per-packet span tracing at SpanRate (the fraction of
+	// request packets sampled; 0 installs the collector but samples
+	// nothing). Span probes observe mid-cycle state, so tracing runs on
+	// the serial kernel regardless of Workers.
+	Spans    bool
+	SpanRate float64
+
+	// Obs, when non-nil, publishes /metrics, /state and /progress snapshots
+	// to the server every PublishEvery cycles (defaulted when <= 0).
+	Obs          *obs.Server
+	PublishEvery int64
+}
+
+// Close releases the simulator's resources — the interconnect's worker pool
+// when the parallel cycle kernel is active. The simulator stays usable
+// (stepping respawns the pool); call at a cycle boundary. Idempotent.
+func (s *Simulator) Close() { s.Net.Close() }
+
+// gpuTotals folds the per-MC shards into the core-side counters. Shards are
+// folded in MC order, and every field is an int64 sum, so the result is
+// identical to what unsharded accumulation would have produced. Call only at
+// a cycle boundary (MC sinks write shards mid-cycle).
+func (s *Simulator) gpuTotals() stats.GPU {
+	g := s.gpu
+	for i := range s.mcGPU {
+		m := &s.mcGPU[i]
+		g.Instructions += m.Instructions
+		g.MemRequests += m.MemRequests
+		g.L1Hits += m.L1Hits
+		g.L1Misses += m.L1Misses
+		g.L2Hits += m.L2Hits
+		g.L2Misses += m.L2Misses
+		g.InstFetchMisses += m.InstFetchMisses
+		g.StallCycles += m.StallCycles
+	}
+	return g
+}
+
+// attachTelemetry instruments the whole system with the cycle-domain
 // observability subsystem sampling every epochLen cycles: fabric probes
 // (per-link flit counters by class, VC occupancy, stall attribution,
 // latency decomposition), per-MC and DRAM state, and aggregate core-side
-// counters. Call once, before Run; it returns the telemetry instance whose
-// exporters produce the run's artifacts.
-func (s *Simulator) AttachTelemetry(epochLen int64) *telemetry.Telemetry {
+// counters. Call once, before the first cycle; it returns the telemetry
+// instance whose exporters produce the run's artifacts.
+func (s *Simulator) attachTelemetry(epochLen int64) *telemetry.Telemetry {
 	if s.Tel != nil {
 		panic("gpu: telemetry attached twice")
 	}
@@ -140,28 +224,39 @@ func (s *Simulator) AttachTelemetry(epochLen int64) *telemetry.Telemetry {
 	return t
 }
 
+// AttachTelemetry attaches the telemetry subsystem after construction.
+//
+// Deprecated: use NewInstrumented with Instrumentation{TelemetryEpoch:
+// epochLen} — instrumentation is a construction-time decision.
+func (s *Simulator) AttachTelemetry(epochLen int64) *telemetry.Telemetry {
+	return s.attachTelemetry(epochLen)
+}
+
 // instrument registers the full probe set — fabric, per-MC, core-side — on
-// reg. Shared by AttachTelemetry (epoch-sampled registry) and AttachObs
-// (live-exposition registry when telemetry is not attached).
+// reg. Shared by attachTelemetry (epoch-sampled registry) and attachObs
+// (live-exposition registry when telemetry is not attached). Gauges read the
+// folded totals: probes fire at cycle boundaries, where the shards are
+// quiescent.
 func (s *Simulator) instrument(reg *telemetry.Registry) {
 	s.Net.AttachTelemetry(reg)
 	for _, m := range s.MCs {
 		m.AttachTelemetry(reg)
 	}
-	reg.GaugeFunc("core.instructions", func() int64 { return s.gpu.Instructions })
-	reg.GaugeFunc("core.mem_requests", func() int64 { return s.gpu.MemRequests })
-	reg.GaugeFunc("core.stall_cycles", func() int64 { return s.gpu.StallCycles })
-	reg.GaugeFunc("core.l1_misses", func() int64 { return s.gpu.L1Misses })
-	reg.GaugeFunc("core.l2_misses", func() int64 { return s.gpu.L2Misses })
+	reg.GaugeFunc("core.instructions", func() int64 { return s.gpuTotals().Instructions })
+	reg.GaugeFunc("core.mem_requests", func() int64 { return s.gpuTotals().MemRequests })
+	reg.GaugeFunc("core.stall_cycles", func() int64 { return s.gpuTotals().StallCycles })
+	reg.GaugeFunc("core.l1_misses", func() int64 { return s.gpuTotals().L1Misses })
+	reg.GaugeFunc("core.l2_misses", func() int64 { return s.gpuTotals().L2Misses })
 }
 
-// AttachSpans installs per-packet span tracing: a deterministic sampler
+// attachSpans installs per-packet span tracing: a deterministic sampler
 // (seeded by the run's RNG seed, so reruns trace the same packets) selects
 // the given fraction of request packets at injection, and every probe site
 // in the fabric, the MCs, and the DRAM channels records lifecycle events
-// for them and their replies. Call once, before Run. Rate 0 installs the
-// collector but samples nothing — useful for overhead equivalence checks.
-func (s *Simulator) AttachSpans(rate float64) (*obs.Spans, error) {
+// for them and their replies. Call once, before the first cycle. Rate 0
+// installs the collector but samples nothing — useful for overhead
+// equivalence checks.
+func (s *Simulator) attachSpans(rate float64) (*obs.Spans, error) {
 	if s.Spans != nil {
 		panic("gpu: spans attached twice")
 	}
@@ -177,14 +272,22 @@ func (s *Simulator) AttachSpans(rate float64) (*obs.Spans, error) {
 	return sp, nil
 }
 
-// AttachObs starts live HTTP exposition on srv: every `every` cycles the
+// AttachSpans attaches span tracing after construction.
+//
+// Deprecated: use NewInstrumented with Instrumentation{Spans: true,
+// SpanRate: rate} — instrumentation is a construction-time decision.
+func (s *Simulator) AttachSpans(rate float64) (*obs.Spans, error) {
+	return s.attachSpans(rate)
+}
+
+// attachObs starts live HTTP exposition on srv: every `every` cycles the
 // run loop re-renders /metrics (Prometheus text from the probe registry),
 // /state (the mesh-state snapshot), and /progress. If telemetry is attached
-// (call AttachTelemetry first when using both), its registry backs /metrics;
-// otherwise AttachObs instruments a private registry read only at
-// publication boundaries. The first snapshot publishes immediately, so the
-// endpoints serve data before the first simulated cycle.
-func (s *Simulator) AttachObs(srv *obs.Server, every int64) *obs.Publisher {
+// (attach it first when using both), its registry backs /metrics; otherwise
+// attachObs instruments a private registry read only at publication
+// boundaries. The first snapshot publishes immediately, so the endpoints
+// serve data before the first simulated cycle.
+func (s *Simulator) attachObs(srv *obs.Server, every int64) *obs.Publisher {
 	if s.Pub != nil {
 		panic("gpu: obs publisher attached twice")
 	}
@@ -211,6 +314,14 @@ func (s *Simulator) AttachObs(srv *obs.Server, every int64) *obs.Publisher {
 	p.Publish(0, false)
 	s.Pub = p
 	return p
+}
+
+// AttachObs attaches live HTTP exposition after construction.
+//
+// Deprecated: use NewInstrumented with Instrumentation{Obs: srv,
+// PublishEvery: every} — instrumentation is a construction-time decision.
+func (s *Simulator) AttachObs(srv *obs.Server, every int64) *obs.Publisher {
+	return s.attachObs(srv, every)
 }
 
 // Step advances the whole system one NoC cycle.
@@ -287,7 +398,7 @@ func (s *Simulator) RunContext(ctx context.Context) (Result, error) {
 		}
 	}
 
-	before := s.gpu
+	before := s.gpuTotals()
 	s.Net.EnableStats(true)
 	for i := 0; i < s.Cfg.MeasureCycles; i++ {
 		s.Step()
@@ -305,7 +416,7 @@ func (s *Simulator) RunContext(ctx context.Context) (Result, error) {
 	}
 
 	res := s.result(false, int64(s.Cfg.MeasureCycles))
-	res.GPU = delta(before, s.gpu)
+	res.GPU = delta(before, s.gpuTotals())
 	res.GPU.Cycles = int64(s.Cfg.MeasureCycles)
 	res.IPC = res.GPU.IPC()
 	return res, nil
@@ -327,7 +438,7 @@ func (s *Simulator) sanitize() error {
 func (s *Simulator) result(deadlocked bool, cycles int64) Result {
 	st := s.Net.Stats()
 	st.Cycles = cycles
-	g := s.gpu
+	g := s.gpuTotals()
 	g.Cycles = cycles
 	if s.Tel != nil {
 		// Close the time-series with the run's final state so partial
@@ -363,43 +474,81 @@ func delta(before, after stats.GPU) stats.GPU {
 	}
 }
 
-// RunBenchmark is the one-call convenience used by examples and tools:
-// build a simulator for cfg and the named benchmark, run it, return the
-// result.
-func RunBenchmark(cfg config.Config, benchmark string) (Result, error) {
-	return RunBenchmarkContext(context.Background(), cfg, benchmark)
+// RunOptions configures one Run call. The zero value is the plain
+// uninstrumented run on the configured kernel.
+type RunOptions struct {
+	// SanitizeEvery > 0 validates the interconnect's internal invariants
+	// every SanitizeEvery cycles, aborting the run with an error on the
+	// first violation.
+	SanitizeEvery int
+
+	// TelemetryEpoch > 0 attaches the telemetry subsystem sampling every
+	// TelemetryEpoch cycles; the result's Tel field carries the series.
+	TelemetryEpoch int64
+
+	// Workers, when positive, overrides cfg.NoC.Workers — the number of
+	// spatial domains the cycle kernel steps in parallel (1 = serial).
+	// Zero keeps the configured value. Results are bit-identical for
+	// every worker count.
+	Workers int
+
+	// Spans attaches per-packet span tracing at SpanRate; see
+	// Instrumentation.
+	Spans    bool
+	SpanRate float64
 }
 
-// RunBenchmarkContext is RunBenchmark with cooperative cancellation; the
-// sweep engine uses it to enforce per-job timeouts. On cancellation the
-// partial result is returned together with ctx's error.
-func RunBenchmarkContext(ctx context.Context, cfg config.Config, benchmark string) (Result, error) {
-	return RunBenchmarkSanitized(ctx, cfg, benchmark, 0)
-}
-
-// RunBenchmarkSanitized is RunBenchmarkContext with the runtime sanitizer
-// enabled: every `every` cycles the interconnect's internal invariants are
-// validated and a violation aborts the run with an error. Pass 0 to disable.
-func RunBenchmarkSanitized(ctx context.Context, cfg config.Config, benchmark string, every int) (Result, error) {
-	return RunBenchmarkInstrumented(ctx, cfg, benchmark, every, 0)
-}
-
-// RunBenchmarkInstrumented is the fully instrumented one-call runner: the
-// sampled runtime sanitizer every sanitizeEvery cycles (0 disables) and the
-// telemetry subsystem sampling every telemetryEpoch cycles (0 disables; the
-// result's Tel field carries the collected series for export).
-func RunBenchmarkInstrumented(ctx context.Context, cfg config.Config, benchmark string, sanitizeEvery int, telemetryEpoch int64) (Result, error) {
+// Run is the one-call runner: build a simulator for cfg and the named
+// benchmark with the requested instrumentation, simulate warmup then
+// measurement under ctx's cancellation, release the kernel's worker pool,
+// and return the result. On cancellation the partial result is returned
+// together with ctx's error. It replaces the RunBenchmark* family.
+func Run(ctx context.Context, cfg config.Config, benchmark string, opts RunOptions) (Result, error) {
 	prof, err := workload.Get(benchmark)
 	if err != nil {
 		return Result{}, err
 	}
-	sim, err := New(cfg, prof)
+	if opts.Workers > 0 {
+		cfg.NoC.Workers = opts.Workers
+	}
+	sim, err := NewInstrumented(cfg, prof, Instrumentation{
+		TelemetryEpoch: opts.TelemetryEpoch,
+		Spans:          opts.Spans,
+		SpanRate:       opts.SpanRate,
+	})
 	if err != nil {
 		return Result{}, err
 	}
-	sim.SanitizeEvery = sanitizeEvery
-	if telemetryEpoch > 0 {
-		sim.AttachTelemetry(telemetryEpoch)
-	}
+	defer sim.Close()
+	sim.SanitizeEvery = opts.SanitizeEvery
 	return sim.RunContext(ctx)
+}
+
+// RunBenchmark runs cfg on the named benchmark with no instrumentation.
+//
+// Deprecated: use Run(context.Background(), cfg, benchmark, RunOptions{}).
+func RunBenchmark(cfg config.Config, benchmark string) (Result, error) {
+	return Run(context.Background(), cfg, benchmark, RunOptions{})
+}
+
+// RunBenchmarkContext is RunBenchmark with cooperative cancellation.
+//
+// Deprecated: use Run(ctx, cfg, benchmark, RunOptions{}).
+func RunBenchmarkContext(ctx context.Context, cfg config.Config, benchmark string) (Result, error) {
+	return Run(ctx, cfg, benchmark, RunOptions{})
+}
+
+// RunBenchmarkSanitized is RunBenchmarkContext with the runtime sanitizer.
+//
+// Deprecated: use Run with RunOptions{SanitizeEvery: every}.
+func RunBenchmarkSanitized(ctx context.Context, cfg config.Config, benchmark string, every int) (Result, error) {
+	return Run(ctx, cfg, benchmark, RunOptions{SanitizeEvery: every})
+}
+
+// RunBenchmarkInstrumented is the sanitized runner plus telemetry.
+//
+// Deprecated: use Run with RunOptions{SanitizeEvery: sanitizeEvery,
+// TelemetryEpoch: telemetryEpoch}.
+func RunBenchmarkInstrumented(ctx context.Context, cfg config.Config, benchmark string, sanitizeEvery int, telemetryEpoch int64) (Result, error) {
+	return Run(ctx, cfg, benchmark, RunOptions{SanitizeEvery: sanitizeEvery, TelemetryEpoch: telemetryEpoch})
 }

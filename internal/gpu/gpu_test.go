@@ -1,6 +1,7 @@
 package gpu
 
 import (
+	"context"
 	"testing"
 
 	"gpgpunoc/internal/config"
@@ -19,7 +20,7 @@ func quickCfg() config.Config {
 }
 
 func TestBaselineRuns(t *testing.T) {
-	res, err := RunBenchmark(quickCfg(), "KMN")
+	res, err := Run(context.Background(), quickCfg(), "KMN", RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +37,7 @@ func TestBaselineRuns(t *testing.T) {
 
 func TestDeterminism(t *testing.T) {
 	run := func() Result {
-		res, err := RunBenchmark(quickCfg(), "SRAD")
+		res, err := Run(context.Background(), quickCfg(), "SRAD", RunOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -51,12 +52,12 @@ func TestDeterminism(t *testing.T) {
 
 func TestSeedChangesExecution(t *testing.T) {
 	cfg := quickCfg()
-	a, err := RunBenchmark(cfg, "KMN")
+	a, err := Run(context.Background(), cfg, "KMN", RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg.Seed = 99
-	b, err := RunBenchmark(cfg, "KMN")
+	b, err := Run(context.Background(), cfg, "KMN", RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,11 +68,11 @@ func TestSeedChangesExecution(t *testing.T) {
 
 func TestComputeBoundVsMemoryBound(t *testing.T) {
 	cfg := quickCfg()
-	cp, err := RunBenchmark(cfg, "NQU")
+	cp, err := Run(context.Background(), cfg, "NQU", RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	kmn, err := RunBenchmark(cfg, "KMN")
+	kmn, err := Run(context.Background(), cfg, "KMN", RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +90,7 @@ func TestComputeBoundVsMemoryBound(t *testing.T) {
 // XY < YX < {YX monopolized}.
 func TestProposedSchemesImprove(t *testing.T) {
 	ipc := func(s core.Scheme) float64 {
-		res, err := RunBenchmark(s.Apply(quickCfg()), "KMN")
+		res, err := Run(context.Background(), s.Apply(quickCfg()), "KMN", RunOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -111,7 +112,7 @@ func TestProposedSchemesImprove(t *testing.T) {
 }
 
 func TestRequestsBalanceReplies(t *testing.T) {
-	res, err := RunBenchmark(quickCfg(), "MM")
+	res, err := Run(context.Background(), quickCfg(), "MM", RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +170,7 @@ func TestAllSafeCombosRun(t *testing.T) {
 			c.Placement = pl
 			c.NoC.Routing = rt
 			c.NoC.VCPolicy = config.VCSplit
-			res, err := RunBenchmark(c, "LPS")
+			res, err := Run(context.Background(), c, "LPS", RunOptions{})
 			if err != nil {
 				t.Errorf("%s+%s: %v", pl, rt, err)
 				continue
@@ -192,7 +193,7 @@ func TestPartialMonopolizingSafeEverywhere(t *testing.T) {
 	for _, pl := range config.Placements() {
 		c := cfg
 		c.Placement = pl
-		res, err := RunBenchmark(c, "LPS")
+		res, err := Run(context.Background(), c, "LPS", RunOptions{})
 		if err != nil {
 			t.Errorf("%s: %v", pl, err)
 			continue
@@ -206,7 +207,7 @@ func TestPartialMonopolizingSafeEverywhere(t *testing.T) {
 func TestDualNetworkRuns(t *testing.T) {
 	cfg := quickCfg()
 	cfg.NoC.PhysicalSubnets = true
-	res, err := RunBenchmark(cfg, "KMN")
+	res, err := Run(context.Background(), cfg, "KMN", RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,7 +222,7 @@ func TestInvalidInputsRejected(t *testing.T) {
 	if _, err := New(cfg, workload.MustGet("CP")); err == nil {
 		t.Error("bad routing accepted")
 	}
-	if _, err := RunBenchmark(quickCfg(), "NOT-A-BENCH"); err == nil {
+	if _, err := Run(context.Background(), quickCfg(), "NOT-A-BENCH", RunOptions{}); err == nil {
 		t.Error("unknown benchmark accepted")
 	}
 	bad := workload.Profile{Name: "bad", FootprintBytes: 0, RunAhead: 1}
@@ -233,7 +234,7 @@ func TestInvalidInputsRejected(t *testing.T) {
 // TestInstructionFetchEndToEnd: kernels larger than the L1I generate
 // instruction read traffic that round-trips through the MCs' L2 slices.
 func TestInstructionFetchEndToEnd(t *testing.T) {
-	res, err := RunBenchmark(quickCfg(), "RAY") // 8KB kernel vs 2KB L1I
+	res, err := Run(context.Background(), quickCfg(), "RAY", RunOptions{}) // 8KB kernel vs 2KB L1I
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -258,11 +259,11 @@ func TestWarmupBiasBounded(t *testing.T) {
 	short.WarmupCycles, short.MeasureCycles = 3000, 8000
 	long := short
 	long.MeasureCycles = 16000
-	a, err := RunBenchmark(short, "KMN")
+	a, err := Run(context.Background(), short, "KMN", RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RunBenchmark(long, "KMN")
+	b, err := Run(context.Background(), long, "KMN", RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

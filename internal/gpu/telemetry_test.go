@@ -11,7 +11,7 @@ import (
 
 func TestInstrumentedRun(t *testing.T) {
 	cfg := quickCfg()
-	res, err := RunBenchmarkInstrumented(context.Background(), cfg, "KMN", 0, 500)
+	res, err := Run(context.Background(), cfg, "KMN", RunOptions{TelemetryEpoch: 500})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,19 +68,19 @@ func TestAttachTelemetryTwicePanics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sim.AttachTelemetry(100)
+	sim.attachTelemetry(100)
 	defer func() {
 		if recover() == nil {
-			t.Fatal("second AttachTelemetry did not panic")
+			t.Fatal("second attachTelemetry did not panic")
 		}
 	}()
-	sim.AttachTelemetry(100)
+	sim.attachTelemetry(100)
 }
 
 func TestInstrumentedDualSubnets(t *testing.T) {
 	cfg := quickCfg()
 	cfg.NoC.PhysicalSubnets = true
-	res, err := RunBenchmarkInstrumented(context.Background(), cfg, "BFS", 0, 1000)
+	res, err := Run(context.Background(), cfg, "BFS", RunOptions{TelemetryEpoch: 1000})
 	if err != nil {
 		t.Fatal(err)
 	}

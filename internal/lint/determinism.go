@@ -30,17 +30,21 @@ var bannedImports = map[string]string{
 	"math/rand/v2": "use the explicitly seeded internal/rng streams instead of math/rand/v2",
 }
 
-// Determinism forbids the three classic sources of run-to-run divergence in
-// simulation packages: wall-clock reads, the global math/rand generator, and
+// Determinism forbids the classic sources of run-to-run divergence in
+// simulation packages: wall-clock reads, the global math/rand generator,
 // iteration over Go maps (whose order is deliberately randomized by the
-// runtime). Sites that legitimately touch the wall clock — progress
-// reporting, CLI timing — are exempted via the configuration allowlist or a
-// justified //noclint:determinism directive.
+// runtime), and goroutine spawns (whose scheduling order the runtime does
+// not fix — concurrency in a simulation package is safe only when all
+// cross-goroutine effects are merged in a fixed order, as the parallel
+// cycle kernel's lane merge does). Sites that legitimately touch the wall
+// clock or spawn goroutines — progress reporting, CLI timing, the worker
+// pool behind a fixed-order merge — are exempted via the configuration
+// allowlist or a justified //noclint:determinism directive.
 const determinismName = "determinism"
 
 var Determinism = &Analyzer{
 	Name: determinismName,
-	Doc:  "forbid wall-clock reads, math/rand and map iteration in simulation packages",
+	Doc:  "forbid wall-clock reads, math/rand, map iteration and unjustified goroutines in simulation packages",
 	Run:  runDeterminism,
 }
 
@@ -76,6 +80,8 @@ func runDeterminism(ctx *Context) []Finding {
 						report(n, "map iteration order is nondeterministic: iterate a sorted or naturally ordered slice instead (type %s)", t)
 					}
 				}
+			case *ast.GoStmt:
+				report(n, "goroutine scheduling order is nondeterministic: per-domain parallelism is safe only behind a fixed-order merge of all cross-goroutine effects (justify with //noclint:determinism)")
 			}
 			return true
 		})

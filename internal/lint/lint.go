@@ -94,6 +94,7 @@ func DefaultConfig(moduleRoot string) Config {
 				"cmd/",
 				"internal/lint/",
 				"internal/obs/progress.go",
+				"internal/obs/server.go",
 				"internal/sweep/engine.go",
 				"internal/sweep/progress.go",
 			},

@@ -69,3 +69,14 @@ func BadDirective(m map[string]bool) int {
 // TimeTypesOK: referring to time types and constants is fine — only the
 // wall-clock reads are banned.
 func TimeTypesOK(d time.Duration) string { return fmt.Sprint(d) }
+
+// SpawnsGoroutine must be flagged: goroutine scheduling order is not fixed.
+func SpawnsGoroutine(ch chan int) {
+	go func() { ch <- 1 }() // want "goroutine scheduling order is nondeterministic"
+}
+
+// SuppressedGoroutine carries a justified directive and must not be reported.
+func SuppressedGoroutine(ch chan int) {
+	//noclint:determinism effects merge in fixed order downstream
+	go func() { ch <- 1 }()
+}

@@ -82,12 +82,13 @@ func (d *Dual) Step() {
 func (d *Dual) Cycle() int64 { return d.request.Cycle() }
 
 // Stats returns a merged view of both subnets' statistics. The merge is
-// recomputed on each call; experiments read it once after the run.
+// recomputed on each call (going through each subnet's Stats method, which
+// folds its per-lane shards first); experiments read it once after the run.
 func (d *Dual) Stats() *stats.Net {
 	d.merged.Reset()
 	d.merged.Enabled = d.request.stats.Enabled
 	d.merged.Cycles = d.request.stats.Cycles
-	for _, src := range []*stats.Net{d.request.stats, d.reply.stats} {
+	for _, src := range []*stats.Net{d.request.Stats(), d.reply.Stats()} {
 		for t := 0; t < packet.NumTypes; t++ {
 			d.merged.InjectedPackets[t] += src.InjectedPackets[t]
 			d.merged.InjectedFlits[t] += src.InjectedFlits[t]
@@ -107,8 +108,14 @@ func (d *Dual) Stats() *stats.Net {
 
 // EnableStats toggles collection on both subnets.
 func (d *Dual) EnableStats(on bool) {
-	d.request.stats.Enabled = on
-	d.reply.stats.Enabled = on
+	d.request.EnableStats(on)
+	d.reply.EnableStats(on)
+}
+
+// Close stops both subnets' worker pools.
+func (d *Dual) Close() {
+	d.request.Close()
+	d.reply.Close()
 }
 
 // FlitsInFlight sums both subnets.

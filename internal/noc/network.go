@@ -24,11 +24,16 @@
 // bit-identical results; both steppers share every phase helper and iterate
 // routers in ascending ID order, which pins the floating-point statistics
 // accumulation order.
+//
+// The kernel can additionally step the mesh as several spatial domains in
+// parallel (config: NoC.Workers; see parallel.go): contiguous row stripes
+// run the compute phases concurrently, separated by cycle-boundary
+// barriers, and all cross-domain effects merge in a fixed lane order — so
+// results stay bit-identical for every worker count.
 package noc
 
 import (
 	"fmt"
-	"slices"
 
 	"gpgpunoc/internal/config"
 	"gpgpunoc/internal/mesh"
@@ -100,6 +105,11 @@ type Interconnect interface {
 	// sizes. Callers must invoke it only at a cycle boundary (between
 	// Step calls) so the kernel is never read mid-phase.
 	StateSnapshot() obs.MeshState
+	// Close stops the kernel's persistent worker pool, if one is running.
+	// The interconnect stays usable (a later parallel Step respawns the
+	// pool); call at a cycle boundary, typically deferred after
+	// construction.
+	Close()
 }
 
 // injQueue is a node's bounded injection FIFO, in flits. Consumption
@@ -158,21 +168,21 @@ type Network struct {
 	inj     []injQueue
 	sinks   []Sink
 
-	// Active sets: dense ID lists plus membership marks. active holds
-	// routers with buffered flits or occupied link registers; injActive
-	// holds nodes with queued injection packets. Both are sorted ascending
-	// at the top of Step so iteration order matches the reference full
-	// scan, and compacted at the end of Step when the work drains.
-	active    []int32
-	activeIn  []bool
-	injActive []int32
-	injIn     []bool
+	// lanes are the kernel's spatial domains: contiguous row stripes, each
+	// owning its routers' active sets, stats shard, and cross-domain
+	// outboxes (see parallel.go). A single lane covering the whole mesh is
+	// the serial kernel. laneOf maps each node ID to its owning lane.
+	// activeIn / injIn are the global membership marks for the per-lane
+	// active sets; each slot has a single writer (the owning lane during
+	// the phases, the serial tail otherwise).
+	lanes    []lane
+	laneOf   []int32
+	activeIn []bool
+	injIn    []bool
 
-	// creditDirty lists output ports with credits returned this cycle
-	// (accumulated in outPort.pending); the credit phase drains it. This
-	// replaces a per-credit event list: returns to the same (port, VC) in
-	// one cycle collapse into a tally.
-	creditDirty []*outPort
+	// pool is the persistent worker pool stepping lanes 1..N-1; spawned
+	// lazily on the first parallel Step, stopped by Close.
+	pool *workerPool
 
 	// routeTab caches the routing algorithm per (class, current, dest):
 	// NextHop is a pure function of those three, so RC becomes one array
@@ -255,16 +265,16 @@ func New(cfg config.NoC, alg routing.Algorithm, pol vc.Assigner, opts ...Option)
 		routers:    make([]router, nn),
 		inj:        make([]injQueue, nn),
 		sinks:      make([]Sink, nn),
-		active:     make([]int32, 0, nn),
 		activeIn:   make([]bool, nn),
-		injActive:  make([]int32, 0, nn),
 		injIn:      make([]bool, nn),
 		injRng:     make([][packet.NumClasses]vc.Range, nn),
 		stats:      stats.NewNet(m),
 	}
+	n.buildLanes(cfg.Workers, cfg.Width, cfg.Height)
+	arena := newRouterArena(nn, n.vcs, n.depth)
 	for id := range n.routers {
 		rt := &n.routers[id]
-		rt.init(mesh.NodeID(id), m, n.vcs, n.depth)
+		rt.init(mesh.NodeID(id), m, n.vcs, n.depth, arena)
 		for d := mesh.North; d < mesh.Local; d++ {
 			op := &rt.out[d]
 			if !op.exists {
@@ -316,11 +326,32 @@ func New(cfg config.NoC, alg routing.Algorithm, pol vc.Assigner, opts ...Option)
 // Mesh returns the topology.
 func (n *Network) Mesh() mesh.Mesh { return n.m }
 
-// Stats returns the statistics collector.
-func (n *Network) Stats() *stats.Net { return n.stats }
+// Stats returns the statistics collector, after folding every lane's shard
+// into it in lane order. Call only at a cycle boundary.
+func (n *Network) Stats() *stats.Net {
+	n.foldStats()
+	return n.stats
+}
 
-// EnableStats toggles measurement collection.
-func (n *Network) EnableStats(on bool) { n.stats.Enabled = on }
+// EnableStats toggles measurement collection, on the folded collector and
+// every lane shard alike.
+func (n *Network) EnableStats(on bool) {
+	n.stats.Enabled = on
+	for i := range n.lanes {
+		n.lanes[i].stats.Enabled = on
+	}
+}
+
+// Close stops the persistent worker pool, if one was spawned. The network
+// remains usable — a later parallel Step respawns the pool — so Close is
+// safe to defer as soon as the network is built. Call only at a cycle
+// boundary.
+func (n *Network) Close() {
+	if n.pool != nil {
+		n.pool.stop()
+		n.pool = nil
+	}
+}
 
 // Cycle returns the current cycle count.
 func (n *Network) Cycle() int64 { return n.cycle }
@@ -334,19 +365,43 @@ func (n *Network) Quiescent(window int64) bool {
 	return n.inFlight > 0 && n.cycle-n.lastMove >= window
 }
 
-// wake adds a router to the active set; idempotent and O(1).
+// activeCount sums the scheduled routers across lanes.
+func (n *Network) activeCount() int {
+	total := 0
+	for i := range n.lanes {
+		total += len(n.lanes[i].active)
+	}
+	return total
+}
+
+// injActiveCount sums the injection-scheduled nodes across lanes.
+func (n *Network) injActiveCount() int {
+	total := 0
+	for i := range n.lanes {
+		total += len(n.lanes[i].injActive)
+	}
+	return total
+}
+
+// wake adds a router to its lane's active set; idempotent and O(1). During
+// the parallel phases it is only ever called for routers the executing lane
+// owns (cross-domain deliveries wake from the serial tail), so the set and
+// its membership mark have a single writer.
 func (n *Network) wake(id mesh.NodeID) {
 	if !n.activeIn[id] {
 		n.activeIn[id] = true
-		n.active = append(n.active, int32(id))
+		ln := &n.lanes[n.laneOf[id]]
+		ln.active = append(ln.active, int32(id))
 	}
 }
 
-// wakeInj adds a node to the injection-active set; idempotent and O(1).
+// wakeInj adds a node to its lane's injection-active set; idempotent and
+// O(1). Only called from serial contexts (endpoint Inject between cycles).
 func (n *Network) wakeInj(id mesh.NodeID) {
 	if !n.injIn[id] {
 		n.injIn[id] = true
-		n.injActive = append(n.injActive, int32(id))
+		ln := &n.lanes[n.laneOf[id]]
+		ln.injActive = append(ln.injActive, int32(id))
 	}
 }
 
@@ -411,8 +466,8 @@ func (n *Network) subnetState(name string) obs.SubnetState {
 		Subnet:          name,
 		Cycle:           n.cycle,
 		InFlight:        n.inFlight,
-		ActiveRouters:   len(n.active),
-		ActiveInjectors: len(n.injActive),
+		ActiveRouters:   n.activeCount(),
+		ActiveInjectors: n.injActiveCount(),
 		Links:           make([]obs.LinkState, 0, len(n.routers)*mesh.NumLinkDirs),
 		Nodes:           make([]obs.NodeState, 0, len(n.routers)),
 	}
@@ -503,9 +558,12 @@ func (n *Network) sinkAccept(node mesh.NodeID, f packet.Flit) bool {
 
 // queueCredit defers a credit increment to the end of the cycle, modelling
 // a one-cycle credit loop uniformly regardless of router iteration order.
-// The credit lands in the upstream output port's pending tally; the credit
-// phase applies dirty tallies in one pass.
-func (n *Network) queueCredit(rt *router, inPort mesh.Direction, vcIdx int) {
+// The credit lands in the upstream output port's pending tally; the serial
+// tail applies dirty tallies in lane order. Race-freedom: each output port
+// feeds exactly one input port, so (op.pending, op.dirty) are written only
+// by the lane owning the downstream router — the port's owning lane
+// concurrently touches only disjoint fields (credits, reg, owner).
+func (n *Network) queueCredit(ln *lane, rt *router, inPort mesh.Direction, vcIdx int) {
 	op := rt.upstream[inPort]
 	if op == nil {
 		panic("noc: credit return for a port with no upstream link")
@@ -513,13 +571,13 @@ func (n *Network) queueCredit(rt *router, inPort mesh.Direction, vcIdx int) {
 	op.pending[vcIdx]++
 	if !op.dirty {
 		op.dirty = true
-		n.creditDirty = append(n.creditDirty, op)
+		ln.creditDirty = append(ln.creditDirty, op)
 	}
 }
 
 // injectNode moves up to injRate flits from the node's injection queue into
 // local input VCs of its router.
-func (n *Network) injectNode(id int) {
+func (n *Network) injectNode(ln *lane, id int) {
 	q := &n.inj[id]
 	if q.empty() {
 		return
@@ -543,7 +601,7 @@ func (n *Network) injectNode(id int) {
 			}
 			q.vc = best
 			p.InjectedAt = n.cycle
-			n.stats.CountInjection(p)
+			ln.stats.CountInjection(p)
 			if n.tracer != nil {
 				n.tracer.PacketInjected(p, n.cycle)
 			}
@@ -561,7 +619,7 @@ func (n *Network) injectNode(id int) {
 			q.sent++
 			q.flits--
 			budget--
-			n.moved = true
+			ln.moved = true
 			if n.tel != nil {
 				n.tel.InjFlits[id].Inc()
 			}
@@ -579,63 +637,125 @@ func (n *Network) injectNode(id int) {
 // link occupancy has elapsed arrive at downstream buffers, waking the
 // downstream router. A half-width link (period 2) holds each flit an extra
 // cycle, blocking the next switch traversal through that port.
-func (n *Network) linkPhase(rt *router) {
+//
+// Deliveries into routers the lane owns commit immediately; deliveries that
+// cross a domain boundary are deferred to the lane's outbox and applied by
+// the serial tail in lane order, so two lanes never push into one router's
+// buffers concurrently. Deferral is invisible to results: at most one flit
+// crosses a link per cycle, deferred pushes land in disjoint rings with the
+// same arrival stamp, and wake is idempotent.
+func (n *Network) linkPhase(ln *lane, rt *router) {
 	for d := mesh.North; d < mesh.Local; d++ {
 		op := &rt.out[d]
 		if !op.exists || !op.regValid || op.regReadyAt > n.cycle {
 			continue
 		}
-		down := &n.routers[op.downNode]
-		down.in[op.downPort][op.regVC].buf.push(op.reg, n.cycle)
-		down.bufFlits++
-		down.portFlits[op.downPort]++
-		n.wake(op.downNode)
-		op.regValid = false
-		rt.regCount--
-	}
-}
-
-// drainCredits applies the cycle's pending credit tallies.
-func (n *Network) drainCredits() {
-	for _, op := range n.creditDirty {
-		for v, pend := range op.pending {
-			if pend != 0 {
-				op.credits[v] += pend
-				op.pending[v] = 0
-			}
+		if dn := int(op.downNode); dn >= ln.lo && dn < ln.hi {
+			n.deliver(rt, op)
+		} else {
+			ln.outbox = append(ln.outbox, delivery{rt: rt, op: op})
 		}
-		op.dirty = false
 	}
-	n.creditDirty = n.creditDirty[:0]
 }
 
-// finishCycle compacts the active sets and advances the cycle counter.
-// Routers retire only when they hold no buffered flits and no occupied link
+// deliver commits one link traversal: the flit in op's register arrives at
+// the downstream input buffer, the register frees, and the downstream
+// router wakes.
+func (n *Network) deliver(rt *router, op *outPort) {
+	down := &n.routers[op.downNode]
+	down.in[op.downPort][op.regVC].buf.push(op.reg, n.cycle)
+	down.bufFlits++
+	down.portFlits[op.downPort]++
+	n.wake(op.downNode)
+	op.regValid = false
+	rt.regCount--
+}
+
+// finishCycle is the serial tail of every step: with all lanes' phases done
+// (and their workers parked at the barrier), it merges cross-domain effects
+// in lane order — the fixed merge order that makes results independent of
+// worker count — then compacts the active sets and advances the cycle.
+//
+// Merge order per lane: outbox deliveries (buffer pushes + wakes), credit
+// tallies, telemetry flush (stall counters, deferred per-packet latency
+// observations), movement/in-flight folds, active-set compaction. Routers
+// retire only when they hold no buffered flits and no occupied link
 // register; nodes retire when their injection queue drains. Everything that
 // re-arms activity (buffer pushes, Inject) wakes the target, so retirement
 // can never strand work.
 func (n *Network) finishCycle() {
-	w := 0
-	for _, id := range n.active {
-		rt := &n.routers[id]
-		if rt.bufFlits > 0 || rt.regCount > 0 {
-			n.active[w] = id
-			w++
-		} else {
-			n.activeIn[id] = false
+	for li := range n.lanes {
+		ln := &n.lanes[li]
+		for _, dv := range ln.outbox {
+			n.deliver(dv.rt, dv.op)
+		}
+		ln.outbox = ln.outbox[:0]
+	}
+	for li := range n.lanes {
+		ln := &n.lanes[li]
+		for _, op := range ln.creditDirty {
+			for v, pend := range op.pending {
+				if pend != 0 {
+					op.credits[v] += pend
+					op.pending[v] = 0
+				}
+			}
+			op.dirty = false
+		}
+		ln.creditDirty = ln.creditDirty[:0]
+	}
+	if n.tel != nil {
+		for li := range n.lanes {
+			ln := &n.lanes[li]
+			if ln.stallVCAlloc != 0 {
+				n.tel.StallVCAlloc.Add(ln.stallVCAlloc)
+				ln.stallVCAlloc = 0
+			}
+			if ln.stallCredit != 0 {
+				n.tel.StallCredit.Add(ln.stallCredit)
+				ln.stallCredit = 0
+			}
+			if ln.stallRoute != 0 {
+				n.tel.StallRoute.Add(ln.stallRoute)
+				ln.stallRoute = 0
+			}
+			for _, p := range ln.ejected {
+				n.tel.PacketEjected(p, n.cycle)
+			}
+			ln.ejected = ln.ejected[:0]
 		}
 	}
-	n.active = n.active[:w]
-	w = 0
-	for _, id := range n.injActive {
-		if !n.inj[id].empty() {
-			n.injActive[w] = id
-			w++
-		} else {
-			n.injIn[id] = false
+
+	moved := false
+	for li := range n.lanes {
+		ln := &n.lanes[li]
+		moved = moved || ln.moved
+		n.inFlight -= ln.ejectedFlits
+		ln.ejectedFlits = 0
+
+		w := 0
+		for _, id := range ln.active {
+			rt := &n.routers[id]
+			if rt.bufFlits > 0 || rt.regCount > 0 {
+				ln.active[w] = id
+				w++
+			} else {
+				n.activeIn[id] = false
+			}
 		}
+		ln.active = ln.active[:w]
+		w = 0
+		for _, id := range ln.injActive {
+			if !n.inj[id].empty() {
+				ln.injActive[w] = id
+				w++
+			} else {
+				n.injIn[id] = false
+			}
+		}
+		ln.injActive = ln.injActive[:w]
 	}
-	n.injActive = n.injActive[:w]
+	n.moved = moved
 
 	if n.moved {
 		n.lastMove = n.cycle
@@ -645,99 +765,70 @@ func (n *Network) finishCycle() {
 }
 
 // Step advances the network by one cycle: injection, router pipelines
-// (RC/VA/SA/ST), then link traversal and credit returns. Only active
-// routers and injecting nodes are visited, in ascending id order — exactly
-// the order the reference full scan produces, so endpoint callbacks and
-// statistics accumulate identically. Each set is walked one of two ways:
-// sparse sets are sorted and iterated directly; once a set covers a quarter
-// of the fabric, a full ascending scan through the same activity gates is
-// cheaper than sorting (the gated-out visits are provably no-ops), so a
-// saturated mesh pays no scheduling overhead over the reference loop.
+// (RC/VA/SA/ST), then link traversal, and finally the serial tail (credit
+// returns, cross-domain deliveries, compaction). Within each lane only
+// active routers and injecting nodes are visited, in ascending id order —
+// exactly the order the reference full scan produces, so endpoint callbacks
+// and statistics accumulate identically (see injectPhase / routerPhase in
+// parallel.go for the dense/sparse walk).
+//
+// With one lane this is the serial event-sparse kernel. With several lanes
+// and no tracer or span collector attached (both are externally supplied,
+// not thread-safe, and order-sensitive), the lanes run on the persistent
+// worker pool with a barrier between the compute phases and the link phase;
+// otherwise the lanes run inline in lane order, which produces the exact
+// global phase order of the classic kernel because lanes are contiguous
+// ascending ID ranges.
 func (n *Network) Step() {
 	if n.reference {
 		n.stepReference()
 		return
 	}
-	n.moved = false
-
-	if len(n.injActive)*4 >= len(n.inj) {
-		for id := range n.inj {
-			if !n.inj[id].empty() {
-				n.injectNode(id)
-			}
-		}
-	} else {
-		slices.Sort(n.injActive)
-		for _, id := range n.injActive {
-			n.injectNode(int(id))
-		}
+	if len(n.lanes) > 1 && n.tracer == nil && n.spans == nil {
+		n.stepParallel()
+		return
 	}
-
-	if len(n.active)*4 >= len(n.routers) {
-		// Dense: the gates (bufFlits, regCount) are live counters, so this
-		// is the reference loop minus its no-op visits. Routers woken
-		// mid-loop are caught by the same gates the reference applies.
-		for i := range n.routers {
-			rt := &n.routers[i]
-			if rt.bufFlits == 0 {
-				continue
-			}
-			n.routeCompute(rt)
-			n.vcAllocate(rt)
-			n.switchAllocateAndTraverse(rt)
-		}
-		for i := range n.routers {
-			rt := &n.routers[i]
-			if rt.regCount > 0 {
-				n.linkPhase(rt)
-			}
-		}
-	} else {
-		// Sparse: snapshot the sorted active prefix; wakes during the
-		// phases below append routers that, by construction, have no switch
-		// work or link register to process this cycle.
-		slices.Sort(n.active)
-		k := len(n.active)
-		for i := 0; i < k; i++ {
-			rt := &n.routers[n.active[i]]
-			if rt.bufFlits == 0 {
-				continue // only a link register in flight; nothing to arbitrate
-			}
-			n.routeCompute(rt)
-			n.vcAllocate(rt)
-			n.switchAllocateAndTraverse(rt)
-		}
-		for i := 0; i < k; i++ {
-			rt := &n.routers[n.active[i]]
-			if rt.regCount > 0 {
-				n.linkPhase(rt)
-			}
-		}
+	for li := range n.lanes {
+		n.injectPhase(&n.lanes[li])
 	}
-
-	n.drainCredits()
+	for li := range n.lanes {
+		n.routerPhase(&n.lanes[li])
+	}
+	for li := range n.lanes {
+		n.linkPhaseLane(&n.lanes[li])
+	}
 	n.finishCycle()
 }
 
 // stepReference is the naive stepper: every node and every router, every
 // cycle. It shares all phase helpers (and therefore all bookkeeping —
 // active-set maintenance included) with the event-sparse kernel; only the
-// iteration differs. Equivalence tests hold the two bit-identical.
+// iteration differs. Equivalence tests hold the two bit-identical. It
+// always runs inline: lanes are contiguous ascending ID ranges, so the
+// lane-ordered sweeps below are the classic full scans.
 func (n *Network) stepReference() {
-	n.moved = false
-	for id := range n.inj {
-		n.injectNode(id)
+	for li := range n.lanes {
+		ln := &n.lanes[li]
+		ln.moved = false
+		for id := ln.lo; id < ln.hi; id++ {
+			n.injectNode(ln, id)
+		}
 	}
-	for i := range n.routers {
-		rt := &n.routers[i]
-		n.routeCompute(rt)
-		n.vcAllocate(rt)
-		n.switchAllocateAndTraverse(rt)
+	for li := range n.lanes {
+		ln := &n.lanes[li]
+		for i := ln.lo; i < ln.hi; i++ {
+			rt := &n.routers[i]
+			n.routeCompute(rt)
+			n.vcAllocate(rt)
+			n.switchAllocateAndTraverse(ln, rt)
+		}
 	}
-	for i := range n.routers {
-		n.linkPhase(&n.routers[i])
+	for li := range n.lanes {
+		ln := &n.lanes[li]
+		for i := ln.lo; i < ln.hi; i++ {
+			n.linkPhase(ln, &n.routers[i])
+		}
 	}
-	n.drainCredits()
 	n.finishCycle()
 }
 

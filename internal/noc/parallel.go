@@ -1,0 +1,309 @@
+package noc
+
+// The deterministic parallel cycle kernel.
+//
+// The mesh is partitioned into contiguous row stripes ("lanes"); node IDs
+// are row-major, so each lane owns a contiguous router-ID range and, via
+// the router arena, a contiguous block of hot state. Every cycle runs in
+// three phases:
+//
+//	phase A (parallel): per lane, injection then RC/VA/SA/ST for the
+//	  lane's routers. Cross-lane interactions in this phase are confined
+//	  to single-writer slots — the credit tally (op.pending, written only
+//	  by the downstream router's lane) and per-link counters (written only
+//	  by the upstream router's lane) — plus read-only shared state.
+//	phase B (parallel, after a barrier): per lane, link traversal. Each
+//	  router's input buffers receive pushes only from its owning lane;
+//	  deliveries crossing a lane boundary are deferred to the lane's
+//	  outbox.
+//	serial tail: finishCycle merges all deferred cross-lane effects in
+//	  lane order — outbox deliveries, credit drains, telemetry flushes,
+//	  movement/in-flight folds — then compacts the active sets.
+//
+// Determinism argument, in short: within a phase, lanes touch disjoint or
+// single-writer state, so the interleaving cannot affect values; everything
+// that is order-sensitive is deferred and merged in fixed lane order; and
+// every statistics accumulator is integer-valued with commutative updates
+// (sums, min/max, histogram buckets), so per-lane sharding plus an ordered
+// merge reproduces the serial totals exactly. Partition boundaries
+// therefore cannot affect results either, which is what makes Workers=0
+// (GOMAXPROCS-many lanes) safe to use in reproducible experiments.
+
+import (
+	"runtime"
+	"slices"
+
+	"gpgpunoc/internal/packet"
+	"gpgpunoc/internal/stats"
+)
+
+// delivery is one deferred cross-domain link traversal: the flit sits in
+// op's link register until the serial tail commits it downstream.
+type delivery struct {
+	rt *router
+	op *outPort
+}
+
+// lane is one spatial domain of the cycle kernel: the routers and nodes
+// with IDs in [lo, hi), their active sets, and every per-domain accumulator
+// that would otherwise be shared across workers. A single lane spanning the
+// whole mesh is the serial kernel.
+type lane struct {
+	lo, hi int // owned node-ID range [lo, hi)
+
+	// Active sets: dense ID lists of this lane's routers with work and
+	// nodes with queued injections. Sorted ascending at the top of the
+	// router phase so iteration order matches the reference full scan;
+	// compacted by the serial tail when the work drains.
+	active    []int32
+	injActive []int32
+
+	// k and dense carry the router phase's iteration decision over to the
+	// link phase: the sorted-prefix snapshot length, or a dense scan.
+	k     int
+	dense bool
+
+	// creditDirty lists output ports with credits returned this cycle by
+	// this lane's routers (accumulated in outPort.pending); the serial
+	// tail drains lanes in order.
+	creditDirty []*outPort
+
+	// outbox defers link deliveries that cross the lane boundary.
+	outbox []delivery
+
+	// stats is the lane's private shard of order-sensitive accumulators
+	// (injection/ejection counts, latency samplers); Network.Stats folds
+	// shards in lane order. Single-writer link-flit counters stay on the
+	// shared collector.
+	stats *stats.Net
+
+	// Stall-attribution tallies and deferred per-packet latency
+	// observations, flushed into the shared telemetry probes by the
+	// serial tail.
+	stallVCAlloc int64
+	stallCredit  int64
+	stallRoute   int64
+	ejected      []*packet.Packet
+
+	moved        bool // any flit moved in this lane this cycle
+	ejectedFlits int  // flits ejected this cycle (in-flight delta)
+}
+
+// effectiveDomains resolves the Workers configuration to a lane count:
+// 0 means GOMAXPROCS, and the count is clamped to the mesh height since
+// domains are row stripes. Because partition boundaries cannot affect
+// results (see the package comment above), a GOMAXPROCS-derived count is
+// still reproducible.
+func effectiveDomains(workers, height int) int {
+	d := workers
+	if d <= 0 {
+		d = runtime.GOMAXPROCS(0)
+	}
+	if d > height {
+		d = height
+	}
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// buildLanes partitions the mesh into row stripes. Every lane is non-empty
+// (the domain count is clamped to the height) and covers whole rows, so
+// lane ID ranges are contiguous and ascending.
+func (n *Network) buildLanes(workers, width, height int) {
+	d := effectiveDomains(workers, height)
+	n.lanes = make([]lane, d)
+	n.laneOf = make([]int32, n.numNodes)
+	for i := range n.lanes {
+		ln := &n.lanes[i]
+		ln.lo = (i * height / d) * width
+		ln.hi = ((i + 1) * height / d) * width
+		ln.stats = stats.NewNet(n.m)
+		for id := ln.lo; id < ln.hi; id++ {
+			n.laneOf[id] = int32(i)
+		}
+	}
+}
+
+// injectPhase drains injection queues for the lane's nodes, ascending.
+// Sparse sets are sorted and walked directly; once a set covers a quarter
+// of the lane, a full ascending scan through the same emptiness gate is
+// cheaper than sorting, and visits the same nodes in the same order.
+func (n *Network) injectPhase(ln *lane) {
+	ln.moved = false
+	if len(ln.injActive)*4 >= ln.hi-ln.lo {
+		for id := ln.lo; id < ln.hi; id++ {
+			if !n.inj[id].empty() {
+				n.injectNode(ln, id)
+			}
+		}
+	} else {
+		slices.Sort(ln.injActive)
+		for _, id := range ln.injActive {
+			n.injectNode(ln, int(id))
+		}
+	}
+}
+
+// routerPhase runs RC/VA/SA/ST for the lane's active routers, ascending.
+// The sort happens after injection so routers woken by this cycle's
+// injected flits are visited, exactly as the reference scan would.
+func (n *Network) routerPhase(ln *lane) {
+	ln.dense = len(ln.active)*4 >= ln.hi-ln.lo
+	if ln.dense {
+		// Dense: the gates (bufFlits, regCount) are live counters, so this
+		// is the reference loop minus its no-op visits.
+		for i := ln.lo; i < ln.hi; i++ {
+			rt := &n.routers[i]
+			if rt.bufFlits == 0 {
+				continue
+			}
+			n.routeCompute(rt)
+			n.vcAllocate(rt)
+			n.switchAllocateAndTraverse(ln, rt)
+		}
+	} else {
+		// Sparse: snapshot the sorted active prefix; wakes during the
+		// phases append routers that, by construction, have no switch work
+		// or link register to process this cycle.
+		slices.Sort(ln.active)
+		ln.k = len(ln.active)
+		for i := 0; i < ln.k; i++ {
+			rt := &n.routers[ln.active[i]]
+			if rt.bufFlits == 0 {
+				continue // only a link register in flight; nothing to arbitrate
+			}
+			n.routeCompute(rt)
+			n.vcAllocate(rt)
+			n.switchAllocateAndTraverse(ln, rt)
+		}
+	}
+}
+
+// linkPhaseLane delivers completed link traversals for the lane's routers,
+// walking the same snapshot the router phase used.
+func (n *Network) linkPhaseLane(ln *lane) {
+	if ln.dense {
+		for i := ln.lo; i < ln.hi; i++ {
+			rt := &n.routers[i]
+			if rt.regCount > 0 {
+				n.linkPhase(ln, rt)
+			}
+		}
+	} else {
+		for i := 0; i < ln.k; i++ {
+			rt := &n.routers[ln.active[i]]
+			if rt.regCount > 0 {
+				n.linkPhase(ln, rt)
+			}
+		}
+	}
+}
+
+// phaseA is a worker's compute phase: injection then router pipelines for
+// one lane.
+func (n *Network) phaseA(ln *lane) {
+	n.injectPhase(ln)
+	n.routerPhase(ln)
+}
+
+// foldStats drains every lane's stats shard into the shared collector in
+// lane order. All sampler updates are integer sums, mins, maxes, and bucket
+// counts, so the fold reproduces exactly what serial accumulation would
+// have produced.
+func (n *Network) foldStats() {
+	for li := range n.lanes {
+		src := n.lanes[li].stats
+		for t := 0; t < packet.NumTypes; t++ {
+			n.stats.InjectedPackets[t] += src.InjectedPackets[t]
+			n.stats.InjectedFlits[t] += src.InjectedFlits[t]
+			n.stats.EjectedPackets[t] += src.EjectedPackets[t]
+			n.stats.EjectedFlits[t] += src.EjectedFlits[t]
+			src.InjectedPackets[t] = 0
+			src.InjectedFlits[t] = 0
+			src.EjectedPackets[t] = 0
+			src.EjectedFlits[t] = 0
+		}
+		for c := 0; c < packet.NumClasses; c++ {
+			n.stats.TotalLatency[c].Merge(&src.TotalLatency[c])
+			n.stats.NetLatency[c].Merge(&src.NetLatency[c])
+			src.TotalLatency[c] = stats.Sampler{}
+			src.NetLatency[c] = stats.Sampler{}
+		}
+	}
+}
+
+// workerPool runs lanes 1..N-1 on persistent goroutines; lane 0 always runs
+// on the stepping goroutine. Channel handshakes provide the cycle-boundary
+// barriers (and, via Go's channel memory model, the happens-before edges
+// that publish one phase's writes to the next).
+type workerPool struct {
+	start []chan struct{} // per worker: begin phase A
+	bGo   []chan struct{} // per worker: begin phase B
+	aDone chan struct{}   // one token per worker after phase A
+	bDone chan struct{}   // one token per worker after phase B
+}
+
+func newWorkerPool(n *Network) *workerPool {
+	w := len(n.lanes) - 1
+	p := &workerPool{
+		start: make([]chan struct{}, w),
+		bGo:   make([]chan struct{}, w),
+		aDone: make(chan struct{}, w),
+		bDone: make(chan struct{}, w),
+	}
+	for i := 0; i < w; i++ {
+		p.start[i] = make(chan struct{}, 1)
+		p.bGo[i] = make(chan struct{}, 1)
+		// Scheduling order across lane goroutines cannot affect results:
+		// phases touch disjoint or single-writer state and every
+		// cross-lane effect is merged in fixed lane order by finishCycle.
+		go p.worker(n, i+1) //noclint:determinism lanes are race-free by ownership; all cross-lane effects merge in fixed lane order in finishCycle
+	}
+	return p
+}
+
+func (p *workerPool) worker(n *Network, li int) {
+	ln := &n.lanes[li]
+	for range p.start[li-1] {
+		n.phaseA(ln)
+		p.aDone <- struct{}{}
+		<-p.bGo[li-1]
+		n.linkPhaseLane(ln)
+		p.bDone <- struct{}{}
+	}
+}
+
+// stop terminates the worker goroutines. Must be called at a cycle
+// boundary, when every worker is parked on its start channel.
+func (p *workerPool) stop() {
+	for _, c := range p.start {
+		close(c)
+	}
+}
+
+// stepParallel advances one cycle with the lanes on the worker pool: kick
+// every worker's phase A, run lane 0's phase A inline, barrier; same for
+// phase B; then the serial tail.
+func (n *Network) stepParallel() {
+	if n.pool == nil {
+		n.pool = newWorkerPool(n)
+	}
+	p := n.pool
+	for _, c := range p.start {
+		c <- struct{}{}
+	}
+	n.phaseA(&n.lanes[0])
+	for range p.start {
+		<-p.aDone
+	}
+	for _, c := range p.bGo {
+		c <- struct{}{}
+	}
+	n.linkPhaseLane(&n.lanes[0])
+	for range p.bGo {
+		<-p.bDone
+	}
+	n.finishCycle()
+}

@@ -1,0 +1,194 @@
+package noc
+
+import (
+	"testing"
+
+	"gpgpunoc/internal/config"
+	"gpgpunoc/internal/mesh"
+	"gpgpunoc/internal/packet"
+	"gpgpunoc/internal/rng"
+	"gpgpunoc/internal/routing"
+	"gpgpunoc/internal/vc"
+)
+
+// newWorkerNet builds a test network with an explicit kernel worker count.
+func newWorkerNet(t testing.TB, rt config.Routing, pol config.VCPolicy, workers int, opts ...Option) *Network {
+	t.Helper()
+	cfg := config.Default().NoC
+	cfg.Routing = rt
+	cfg.VCPolicy = pol
+	cfg.Workers = workers
+	n := New(cfg, routing.MustNew(rt), vc.MustNewPolicy(cfg), opts...)
+	n.EnableStats(true)
+	t.Cleanup(n.Close)
+	return n
+}
+
+// driveLoad injects a deterministic bursty workload for cycles, stepping the
+// network each cycle. Sinks periodically refuse flits (as a backpressured MC
+// would), as a pure function of node and cycle so every kernel sees the
+// identical refusal schedule.
+func driveLoad(t testing.TB, n *Network, cycles int, seed uint64, check bool) {
+	t.Helper()
+	nn := n.Mesh().NumNodes()
+	for i := 0; i < nn; i++ {
+		node := i
+		n.SetSink(mesh.NodeID(i), func(f packet.Flit) bool {
+			return (n.Cycle()+int64(node))%7 != 0
+		})
+	}
+	r := rng.New(seed)
+	id := uint64(0)
+	for c := 0; c < cycles; c++ {
+		for k := 0; k < 3; k++ {
+			id++
+			n.Inject(&packet.Packet{
+				ID: id, Type: packet.ReadReply,
+				Src: r.Intn(nn), Dst: r.Intn(nn),
+				Flits: packet.LongFlits, CreatedAt: n.Cycle(),
+			})
+		}
+		n.Step()
+		if check && c%64 == 0 {
+			if err := n.CheckInvariants(); err != nil {
+				t.Fatalf("cycle %d: %v", c, err)
+			}
+		}
+	}
+}
+
+// TestParallelKernelEquivalence: the parallel kernel must be bit-identical
+// to the serial kernel for every worker count, across routings and VC
+// policies, including mid-run state (in-flight, movement tracking) and
+// every statistics accumulator.
+func TestParallelKernelEquivalence(t *testing.T) {
+	variants := []struct {
+		rt  config.Routing
+		pol config.VCPolicy
+	}{
+		{config.RoutingXY, config.VCSplit},
+		{config.RoutingYX, config.VCMonopolized},
+		{config.RoutingXYYX, config.VCPartialMonopolized},
+	}
+	for _, v := range variants {
+		t.Run(string(v.rt)+"/"+string(v.pol), func(t *testing.T) {
+			base := newWorkerNet(t, v.rt, v.pol, 1)
+			driveLoad(t, base, 900, 7, true)
+			bs := base.Stats()
+			for _, w := range []int{2, 4, 8} {
+				n := newWorkerNet(t, v.rt, v.pol, w)
+				if len(n.lanes) != w {
+					t.Fatalf("workers=%d built %d lanes", w, len(n.lanes))
+				}
+				driveLoad(t, n, 900, 7, true)
+				if n.FlitsInFlight() != base.FlitsInFlight() {
+					t.Errorf("workers=%d: in-flight %d, serial %d", w, n.FlitsInFlight(), base.FlitsInFlight())
+				}
+				if n.lastMove != base.lastMove {
+					t.Errorf("workers=%d: lastMove %d, serial %d", w, n.lastMove, base.lastMove)
+				}
+				s := n.Stats()
+				if s.InjectedPackets != bs.InjectedPackets || s.EjectedPackets != bs.EjectedPackets ||
+					s.InjectedFlits != bs.InjectedFlits || s.EjectedFlits != bs.EjectedFlits {
+					t.Errorf("workers=%d: packet accounting diverged", w)
+				}
+				for c := 0; c < packet.NumClasses; c++ {
+					if s.TotalLatency[c] != bs.TotalLatency[c] || s.NetLatency[c] != bs.NetLatency[c] {
+						t.Errorf("workers=%d: class %d latency accumulators diverged", w, c)
+					}
+					for i := range s.LinkFlits[c] {
+						if s.LinkFlits[c][i] != bs.LinkFlits[c][i] {
+							t.Fatalf("workers=%d: class %d link %d flit counts diverged", w, c, i)
+						}
+					}
+				}
+				if !n.Drain(5000) {
+					t.Fatalf("workers=%d failed to drain", w)
+				}
+			}
+			if !base.Drain(5000) {
+				t.Fatal("serial baseline failed to drain")
+			}
+		})
+	}
+}
+
+// TestParallelKernelUnderLoadRace saturates the parallel kernel so the race
+// detector (make race / CI) can observe the phases overlapping for real:
+// heavy traffic, sink refusals, invariant checks at boundaries, and a full
+// drain. Without -race it doubles as a stress test.
+func TestParallelKernelUnderLoadRace(t *testing.T) {
+	n := newWorkerNet(t, config.RoutingXY, config.VCSplit, 4)
+	driveLoad(t, n, 1500, 42, true)
+	if !n.Drain(10000) {
+		t.Fatalf("failed to drain; %d flits in flight", n.FlitsInFlight())
+	}
+	if err := n.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if n.activeCount() != 0 || n.injActiveCount() != 0 {
+		t.Fatal("drained network still schedules work")
+	}
+}
+
+// TestParallelKernelClose: Close parks and releases the pool, the network
+// keeps working afterwards (respawning the pool), and Close is idempotent.
+func TestParallelKernelClose(t *testing.T) {
+	n := newWorkerNet(t, config.RoutingXY, config.VCSplit, 4)
+	attachCollectors(n)
+	if !n.Inject(mkPacket(1, packet.ReadReply, 0, 63, 0)) {
+		t.Fatal("injection refused")
+	}
+	for i := 0; i < 10; i++ {
+		n.Step()
+	}
+	if n.pool == nil {
+		t.Fatal("parallel stepping did not spawn the pool")
+	}
+	n.Close()
+	if n.pool != nil {
+		t.Fatal("Close left the pool installed")
+	}
+	n.Close() // idempotent
+	if !n.Drain(2000) {
+		t.Fatalf("network unusable after Close; %d in flight", n.FlitsInFlight())
+	}
+	if n.pool == nil {
+		t.Fatal("stepping after Close did not respawn the pool")
+	}
+	n.Close()
+}
+
+// TestEffectiveDomains pins the Workers-to-lanes mapping: clamped to the
+// mesh height, never below one, GOMAXPROCS for zero.
+func TestEffectiveDomains(t *testing.T) {
+	cases := []struct{ workers, height, want int }{
+		{1, 8, 1},
+		{4, 8, 4},
+		{64, 8, 8}, // clamped to row count
+		{3, 8, 3},  // uneven stripes allowed
+	}
+	for _, c := range cases {
+		if got := effectiveDomains(c.workers, c.height); got != c.want {
+			t.Errorf("effectiveDomains(%d, %d) = %d, want %d", c.workers, c.height, got, c.want)
+		}
+	}
+	if got := effectiveDomains(0, 1024); got < 1 {
+		t.Errorf("effectiveDomains(0, 1024) = %d, want >= 1", got)
+	}
+	// Lane ranges must tile the mesh exactly, in ascending order.
+	cfg := config.Default().NoC
+	cfg.Workers = 3
+	n := New(cfg, routing.MustNew(cfg.Routing), vc.MustNewPolicy(cfg))
+	prev := 0
+	for i := range n.lanes {
+		ln := &n.lanes[i]
+		if ln.lo != prev || ln.hi <= ln.lo || ln.lo%cfg.Width != 0 {
+			t.Fatalf("lane %d covers [%d,%d), previous ended at %d", i, ln.lo, ln.hi, prev)
+		}
+		prev = ln.hi
+	}
+	if prev != cfg.Width*cfg.Height {
+		t.Fatalf("lanes end at %d, want %d", prev, cfg.Width*cfg.Height)
+	}
+}

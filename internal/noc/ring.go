@@ -24,6 +24,13 @@ func newRing(capacity int) ring {
 	return ring{buf: make([]bufFlit, capacity)}
 }
 
+// newRingFrom wraps preallocated storage (len == capacity) as a ring. The
+// network's router arena carves one contiguous bufFlit block into per-VC
+// rings this way, so a spatial domain's buffers are cache-local.
+func newRingFrom(buf []bufFlit) ring {
+	return ring{buf: buf}
+}
+
 func (r *ring) len() int  { return r.n }
 func (r *ring) cap() int  { return len(r.buf) }
 func (r *ring) free() int { return len(r.buf) - r.n }

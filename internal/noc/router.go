@@ -77,13 +77,58 @@ type router struct {
 	reqScratch [mesh.NumLinkDirs][]int
 }
 
-func (rt *router) init(id mesh.NodeID, m mesh.Mesh, vcs, depth int) {
+// routerArena backs every router's per-VC state — input-VC descriptors,
+// ring-buffer storage, credit/pending/owner tables, VA scratch — with a
+// handful of contiguous allocations carved in router-ID order. Domains are
+// contiguous ID ranges, so each worker's hot state is one dense block
+// instead of thousands of individually allocated slices.
+type routerArena struct {
+	vcs     []inputVC
+	flits   []bufFlit
+	ints    []int
+	scratch []int
+}
+
+func newRouterArena(nodes, vcs, depth int) *routerArena {
+	return &routerArena{
+		vcs:     make([]inputVC, nodes*mesh.NumPorts*vcs),
+		flits:   make([]bufFlit, nodes*mesh.NumPorts*vcs*depth),
+		ints:    make([]int, nodes*mesh.NumLinkDirs*vcs*3),
+		scratch: make([]int, nodes*mesh.NumLinkDirs*mesh.NumPorts*vcs),
+	}
+}
+
+func (a *routerArena) takeVCs(k int) []inputVC {
+	s := a.vcs[:k:k]
+	a.vcs = a.vcs[k:]
+	return s
+}
+
+func (a *routerArena) takeFlits(k int) []bufFlit {
+	s := a.flits[:k:k]
+	a.flits = a.flits[k:]
+	return s
+}
+
+func (a *routerArena) takeInts(k int) []int {
+	s := a.ints[:k:k]
+	a.ints = a.ints[k:]
+	return s
+}
+
+func (a *routerArena) takeScratch(k int) []int {
+	s := a.scratch[:0:k]
+	a.scratch = a.scratch[k:]
+	return s
+}
+
+func (rt *router) init(id mesh.NodeID, m mesh.Mesh, vcs, depth int, ar *routerArena) {
 	rt.id = id
 	rt.coord = m.Coord(id)
 	for p := 0; p < mesh.NumPorts; p++ {
-		rt.in[p] = make([]inputVC, vcs)
+		rt.in[p] = ar.takeVCs(vcs)
 		for v := range rt.in[p] {
-			rt.in[p][v] = inputVC{buf: newRing(depth), outVC: -1}
+			rt.in[p][v] = inputVC{buf: newRingFrom(ar.takeFlits(depth)), outVC: -1}
 		}
 	}
 	for d := mesh.North; d < mesh.Local; d++ {
@@ -96,9 +141,9 @@ func (rt *router) init(id mesh.NodeID, m mesh.Mesh, vcs, depth int) {
 		op.downNode = m.ID(n)
 		op.downPort = d.Opposite()
 		op.orient = d.Orientation()
-		op.credits = make([]int, vcs)
-		op.pending = make([]int, vcs)
-		op.owner = make([]int, vcs)
+		op.credits = ar.takeInts(vcs)
+		op.pending = ar.takeInts(vcs)
+		op.owner = ar.takeInts(vcs)
 		for v := range op.credits {
 			op.credits[v] = depth
 			op.owner[v] = noOwner
@@ -108,7 +153,7 @@ func (rt *router) init(id mesh.NodeID, m mesh.Mesh, vcs, depth int) {
 	// credits — the node's sink callback provides backpressure.
 	rt.out[mesh.Local] = outPort{exists: true, downNode: id, downPort: mesh.Local, orient: mesh.LocalPort}
 	for d := range rt.reqScratch {
-		rt.reqScratch[d] = make([]int, 0, mesh.NumPorts*vcs)
+		rt.reqScratch[d] = ar.takeScratch(mesh.NumPorts * vcs)
 	}
 }
 
@@ -242,7 +287,7 @@ var _ [2 - packet.NumClasses]struct{}
 // Output ports with no routed demand and input ports with no buffered flits
 // are skipped outright; both gates eliminate only scans that could not have
 // granted anything, so arbitration order is unchanged.
-func (n *Network) switchAllocateAndTraverse(rt *router) {
+func (n *Network) switchAllocateAndTraverse(ln *lane, rt *router) {
 	V := n.vcs
 	var usedInput [mesh.NumPorts]bool
 	var movedVC [mesh.NumPorts]int
@@ -295,7 +340,7 @@ func (n *Network) switchAllocateAndTraverse(rt *router) {
 				} else if ivc.outVC == -1 || op.credits[ivc.outVC] == 0 {
 					continue
 				}
-				if !n.traverse(rt, p, v, d) {
+				if !n.traverse(ln, rt, p, v, d) {
 					continue // sink refused this packet; try the next VC
 				}
 				usedInput[p] = true
@@ -313,7 +358,7 @@ func (n *Network) switchAllocateAndTraverse(rt *router) {
 		}
 	}
 	if n.tel != nil || n.spans != nil {
-		n.countStalls(rt, &movedVC)
+		n.countStalls(ln, rt, &movedVC)
 	}
 }
 
@@ -324,8 +369,11 @@ func (n *Network) switchAllocateAndTraverse(rt *router) {
 // pipeline delay and ejection-blocked flits are not charged. The same
 // attribution feeds the aggregate telemetry counters and, for sampled
 // packets, the per-packet span events; observability-only — runs after SA
-// so "moved this cycle" is known exactly.
-func (n *Network) countStalls(rt *router, movedVC *[mesh.NumPorts]int) {
+// so "moved this cycle" is known exactly. Counter increments land in the
+// lane's private tally and are flushed into the shared telemetry counters at
+// the end of the cycle, in lane order, so the parallel kernel never has two
+// writers on one counter.
+func (n *Network) countStalls(ln *lane, rt *router, movedVC *[mesh.NumPorts]int) {
 	for p := 0; p < mesh.NumPorts; p++ {
 		if rt.portFlits[p] == 0 {
 			continue
@@ -353,11 +401,11 @@ func (n *Network) countStalls(rt *router, movedVC *[mesh.NumPorts]int) {
 			if n.tel != nil {
 				switch cause {
 				case obs.StallVCAlloc:
-					n.tel.StallVCAlloc.Inc()
+					ln.stallVCAlloc++
 				case obs.StallCredit:
-					n.tel.StallCredit.Inc()
+					ln.stallCredit++
 				default:
-					n.tel.StallRoute.Inc()
+					ln.stallRoute++
 				}
 			}
 			if n.spans != nil {
@@ -372,7 +420,13 @@ func (n *Network) countStalls(rt *router, movedVC *[mesh.NumPorts]int) {
 // traverse moves the front flit of input VC (p,v) through output d. It
 // returns false when a sink refuses the flit (ejection only); nothing moves
 // in that case.
-func (n *Network) traverse(rt *router, p, v int, d mesh.Direction) bool {
+//
+// Shared-state discipline for the parallel kernel: everything written here
+// is either owned by the lane stepping rt (the router itself, ln's stats
+// shard and tallies), a single-writer slot keyed by rt (link-flit counters,
+// the upstream port's pending tally — each written only by the one lane that
+// owns the downstream router), or serial-only (tracer, spans).
+func (n *Network) traverse(ln *lane, rt *router, p, v int, d mesh.Direction) bool {
 	ivc := &rt.in[p][v]
 	if d == mesh.Local {
 		front := &ivc.buf.front().flit
@@ -395,21 +449,24 @@ func (n *Network) traverse(rt *router, p, v int, d mesh.Direction) bool {
 	// Return a credit upstream for the freed buffer slot (not for the
 	// injection port: the injection queue tracks its own space).
 	if p != int(mesh.Local) {
-		n.queueCredit(rt, mesh.Direction(p), v)
+		n.queueCredit(ln, rt, mesh.Direction(p), v)
 	}
 
 	if d == mesh.Local {
-		n.inFlight--
+		ln.ejectedFlits++
 		if n.tel != nil {
 			n.tel.EjFlits[rt.id].Inc()
 		}
 		if f.Tail {
-			n.stats.CountEjection(f.Pkt)
+			ln.stats.CountEjection(f.Pkt)
 			if n.tracer != nil {
 				n.tracer.PacketEjected(f.Pkt, n.cycle)
 			}
 			if n.tel != nil {
-				n.tel.PacketEjected(f.Pkt, n.cycle)
+				// Deferred to the end-of-cycle flush: the latency histograms
+				// are shared across lanes, so observations are replayed in
+				// lane order at the cycle boundary.
+				ln.ejected = append(ln.ejected, f.Pkt)
 			}
 			if n.spans != nil && f.Pkt.Sampled {
 				n.spans.Ejected(f.Pkt, n.cycle)
@@ -444,6 +501,6 @@ func (n *Network) traverse(rt *router, p, v int, d mesh.Direction) bool {
 		ivc.routed = false
 		ivc.outVC = -1
 	}
-	n.moved = true
+	ln.moved = true
 	return true
 }

@@ -21,7 +21,7 @@ type RunFunc func(ctx context.Context, j Job) (gpu.Result, error)
 // Simulate is the production RunFunc: a full cycle-level GPU simulation of
 // the job's benchmark under its configuration.
 func Simulate(ctx context.Context, j Job) (gpu.Result, error) {
-	return gpu.RunBenchmarkContext(ctx, j.Cfg, j.Benchmark)
+	return gpu.Run(ctx, j.Cfg, j.Benchmark, gpu.RunOptions{})
 }
 
 // SimulateSanitized returns a RunFunc like Simulate with the runtime
@@ -30,7 +30,7 @@ func Simulate(ctx context.Context, j Job) (gpu.Result, error) {
 // statistics silently.
 func SimulateSanitized(every int) RunFunc {
 	return func(ctx context.Context, j Job) (gpu.Result, error) {
-		return gpu.RunBenchmarkSanitized(ctx, j.Cfg, j.Benchmark, every)
+		return gpu.Run(ctx, j.Cfg, j.Benchmark, gpu.RunOptions{SanitizeEvery: every})
 	}
 }
 
@@ -41,7 +41,10 @@ func SimulateSanitized(every int) RunFunc {
 // Result.Tel; pair with Options.TelemetryDir to persist per-job artifacts.
 func SimulateInstrumented(sanitizeEvery int, telemetryEpoch int64) RunFunc {
 	return func(ctx context.Context, j Job) (gpu.Result, error) {
-		return gpu.RunBenchmarkInstrumented(ctx, j.Cfg, j.Benchmark, sanitizeEvery, telemetryEpoch)
+		return gpu.Run(ctx, j.Cfg, j.Benchmark, gpu.RunOptions{
+			SanitizeEvery:  sanitizeEvery,
+			TelemetryEpoch: telemetryEpoch,
+		})
 	}
 }
 

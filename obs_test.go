@@ -32,16 +32,17 @@ func obsCfg() config.Config {
 	return cfg
 }
 
-func newSim(t *testing.T, cfg config.Config, bench string) *gpu.Simulator {
+func newSim(t *testing.T, cfg config.Config, bench string, inst gpu.Instrumentation) *gpu.Simulator {
 	t.Helper()
 	prof, err := workload.Get(bench)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sim, err := gpu.New(cfg, prof)
+	sim, err := gpu.NewInstrumented(cfg, prof, inst)
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(sim.Close)
 	return sim
 }
 
@@ -54,13 +55,10 @@ func TestSpanRateZeroMatchesDisabled(t *testing.T) {
 	cfg.Placement = config.PlacementBottom
 	cfg.NoC.Routing = config.RoutingYX
 
-	plain := newSim(t, cfg, "KMN")
+	plain := newSim(t, cfg, "KMN", gpu.Instrumentation{})
 	resPlain := plain.Run()
 
-	traced := newSim(t, cfg, "KMN")
-	if _, err := traced.AttachSpans(0); err != nil {
-		t.Fatal(err)
-	}
+	traced := newSim(t, cfg, "KMN", gpu.Instrumentation{Spans: true})
 	resTraced := traced.Run()
 
 	if resPlain.IPC != resTraced.IPC {
@@ -83,11 +81,8 @@ func TestSpanRateZeroMatchesDisabled(t *testing.T) {
 // same four segments from recorded event cycles. Count and sum must agree
 // exactly, per transaction kind and segment.
 func TestSpanSegmentsMatchTelemetry(t *testing.T) {
-	sim := newSim(t, obsCfg(), "KMN")
-	tel := sim.AttachTelemetry(400)
-	if _, err := sim.AttachSpans(1); err != nil {
-		t.Fatal(err)
-	}
+	sim := newSim(t, obsCfg(), "KMN", gpu.Instrumentation{TelemetryEpoch: 400, Spans: true, SpanRate: 1})
+	tel := sim.Tel
 	res := sim.Run()
 
 	type agg struct {
@@ -138,13 +133,12 @@ func TestSpanSegmentsMatchTelemetry(t *testing.T) {
 func TestObsEndpointsMidRun(t *testing.T) {
 	cfg := obsCfg()
 	cfg.MeasureCycles = 20000 // long enough that polls land mid-run
-	sim := newSim(t, cfg, "KMN")
 	srv, err := obs.NewServer("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	sim.AttachObs(srv, 200)
+	sim := newSim(t, cfg, "KMN", gpu.Instrumentation{Obs: srv, PublishEvery: 200})
 	base := "http://" + srv.Addr()
 
 	done := make(chan gpu.Result, 1)
