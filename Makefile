@@ -20,9 +20,13 @@ check: lint build race smoke bench-smoke
 	-$(MAKE) bench-diff
 
 # lint is all static analysis: go vet plus the repository's own analyzers
-# (determinism, seedflow, paniclint — see internal/lint).
+# (determinism, seedflow, paniclint, laneowner, hotpath, publish — see
+# internal/lint). The -max-elapsed budget keeps the from-source typecheck
+# fast enough to live in the edit-check loop; raise NOCLINT_BUDGET if a
+# slow machine trips it.
+NOCLINT_BUDGET ?= 120s
 lint: vet
-	$(GO) run ./cmd/noclint
+	$(GO) run ./cmd/noclint -max-elapsed $(NOCLINT_BUDGET)
 
 vet:
 	$(GO) vet ./...

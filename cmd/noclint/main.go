@@ -3,14 +3,19 @@
 // guards the properties the reproduction depends on: bit-exact determinism
 // (no wall clocks, no math/rand, no map iteration in simulation packages),
 // seed provenance (every rng.Stream comes from rng.New/Split and stays
-// goroutine-local), and panic hygiene (package-prefixed messages or Must*
-// constructors only).
+// goroutine-local), panic hygiene (package-prefixed messages or Must*
+// constructors only), and the semantic safety contracts — lane ownership in
+// the parallel kernel (laneowner), zero-allocation hot paths (hotpath), and
+// frozen published buffers (publish).
 //
 // Usage:
 //
 //	noclint                               # analyze ./internal/... ./cmd/...
 //	noclint ./internal/noc ./cmd/sweep    # analyze specific packages
 //	noclint -analyzers determinism        # run a subset
+//	noclint -format json                  # machine-readable report
+//	noclint -format github                # GitHub Actions annotations
+//	noclint -max-elapsed 90s              # fail if the run takes longer
 //	noclint -list                         # describe the analyzers
 //
 // Exit status is 1 when any finding is reported, so it gates make check and
@@ -23,15 +28,18 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"gpgpunoc/internal/lint"
 )
 
 func main() {
 	var (
-		names = flag.String("analyzers", "", "comma-separated analyzer subset (default all)")
-		list  = flag.Bool("list", false, "describe the analyzers and exit")
-		root  = flag.String("C", ".", "module root directory")
+		names      = flag.String("analyzers", "", "comma-separated analyzer subset (default all)")
+		format     = flag.String("format", "text", "output format: text, json, or github")
+		list       = flag.Bool("list", false, "describe the analyzers and exit")
+		root       = flag.String("C", ".", "module root directory")
+		maxElapsed = flag.Duration("max-elapsed", 0, "fail if loading and analysis take longer (0 disables)")
 	)
 	flag.Parse()
 
@@ -40,6 +48,9 @@ func main() {
 			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
 		}
 		return
+	}
+	if *format != "text" && *format != "json" && *format != "github" {
+		fatal(fmt.Errorf("noclint: unknown format %q (want text, json, or github)", *format))
 	}
 
 	analyzers, err := selectAnalyzers(*names)
@@ -52,6 +63,7 @@ func main() {
 		patterns = []string{"./internal/...", "./cmd/..."}
 	}
 
+	start := time.Now()
 	loader, err := lint.NewLoader(*root)
 	if err != nil {
 		fatal(err)
@@ -71,11 +83,35 @@ func main() {
 
 	cfg := lint.DefaultConfig(mustAbs(*root))
 	findings := lint.Run(pkgs, analyzers, cfg, loader.ModulePath())
-	for _, f := range findings {
-		fmt.Println(f)
+	elapsed := time.Since(start)
+
+	switch *format {
+	case "json":
+		if err := lint.WriteJSON(os.Stdout, findings); err != nil {
+			fatal(err)
+		}
+	case "github":
+		lint.WriteGitHub(os.Stdout, findings)
+	default:
+		for _, f := range findings {
+			fmt.Println(f)
+		}
 	}
+
+	failed := false
 	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "noclint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		fmt.Fprintf(os.Stderr, "noclint: %s in %d package(s)\n", lint.Summary(findings), len(pkgs))
+		failed = true
+	}
+	// The timing guard keeps the lint gate honest: the suite typechecks the
+	// module from source on every run, and a silent slowdown there would rot
+	// the edit-check loop long before anyone profiled it.
+	if *maxElapsed > 0 && elapsed > *maxElapsed {
+		fmt.Fprintf(os.Stderr, "noclint: analysis took %s, over the -max-elapsed budget of %s\n",
+			elapsed.Round(time.Millisecond), *maxElapsed)
+		failed = true
+	}
+	if failed {
 		os.Exit(1)
 	}
 }

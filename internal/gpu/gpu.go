@@ -37,21 +37,22 @@ type Simulator struct {
 	// default) disables the sanitizer entirely.
 	SanitizeEvery int
 
-	// Tel, when non-nil (see AttachTelemetry), is the cycle-domain
-	// observability subsystem: the run loop drives its epoch sampler and
-	// the result carries it for export. Nil costs one branch per cycle.
+	// Tel, when non-nil (see Instrumentation.TelemetryEpoch), is the
+	// cycle-domain observability subsystem: the run loop drives its epoch
+	// sampler and the result carries it for export. Nil costs one branch
+	// per cycle.
 	Tel *telemetry.Telemetry
 
-	// Spans, when non-nil (see AttachSpans), is the per-packet span
-	// collector: every probe site in the fabric and the memory system
+	// Spans, when non-nil (see Instrumentation.Spans), is the per-packet
+	// span collector: every probe site in the fabric and the memory system
 	// records lifecycle events for the deterministic sample of packets it
 	// selects. Nil-gated like Tel.
 	Spans *obs.Spans
 
-	// Pub, when non-nil (see AttachObs), publishes /metrics, /state and
-	// /progress snapshots to an obs.Server at cycle boundaries. Driven
-	// from Step on the simulation goroutine, so every published snapshot
-	// sees a quiescent kernel.
+	// Pub, when non-nil (see Instrumentation.Obs), publishes /metrics,
+	// /state and /progress snapshots to an obs.Server at cycle boundaries.
+	// Driven from Step on the simulation goroutine, so every published
+	// snapshot sees a quiescent kernel.
 	Pub *obs.Publisher
 
 	SMs []*smcore.SM
@@ -132,8 +133,8 @@ func New(cfg config.Config, prof workload.Profile) (*Simulator, error) {
 
 // NewInstrumented is New plus observability applied at construction, before
 // the first cycle: telemetry when inst.TelemetryEpoch > 0, span tracing when
-// inst.Spans, live HTTP exposition when inst.Obs is set. It replaces the
-// former AttachTelemetry/AttachSpans/AttachObs call sequence.
+// inst.Spans, live HTTP exposition when inst.Obs is set. Instrumentation is
+// a construction-time decision; there is no post-construction attach API.
 func NewInstrumented(cfg config.Config, prof workload.Profile, inst Instrumentation) (*Simulator, error) {
 	s, err := New(cfg, prof)
 	if err != nil {
@@ -224,14 +225,6 @@ func (s *Simulator) attachTelemetry(epochLen int64) *telemetry.Telemetry {
 	return t
 }
 
-// AttachTelemetry attaches the telemetry subsystem after construction.
-//
-// Deprecated: use NewInstrumented with Instrumentation{TelemetryEpoch:
-// epochLen} — instrumentation is a construction-time decision.
-func (s *Simulator) AttachTelemetry(epochLen int64) *telemetry.Telemetry {
-	return s.attachTelemetry(epochLen)
-}
-
 // instrument registers the full probe set — fabric, per-MC, core-side — on
 // reg. Shared by attachTelemetry (epoch-sampled registry) and attachObs
 // (live-exposition registry when telemetry is not attached). Gauges read the
@@ -272,14 +265,6 @@ func (s *Simulator) attachSpans(rate float64) (*obs.Spans, error) {
 	return sp, nil
 }
 
-// AttachSpans attaches span tracing after construction.
-//
-// Deprecated: use NewInstrumented with Instrumentation{Spans: true,
-// SpanRate: rate} — instrumentation is a construction-time decision.
-func (s *Simulator) AttachSpans(rate float64) (*obs.Spans, error) {
-	return s.attachSpans(rate)
-}
-
 // attachObs starts live HTTP exposition on srv: every `every` cycles the
 // run loop re-renders /metrics (Prometheus text from the probe registry),
 // /state (the mesh-state snapshot), and /progress. If telemetry is attached
@@ -316,14 +301,6 @@ func (s *Simulator) attachObs(srv *obs.Server, every int64) *obs.Publisher {
 	return p
 }
 
-// AttachObs attaches live HTTP exposition after construction.
-//
-// Deprecated: use NewInstrumented with Instrumentation{Obs: srv,
-// PublishEvery: every} — instrumentation is a construction-time decision.
-func (s *Simulator) AttachObs(srv *obs.Server, every int64) *obs.Publisher {
-	return s.attachObs(srv, every)
-}
-
 // Step advances the whole system one NoC cycle.
 func (s *Simulator) Step() {
 	for _, sm := range s.SMs {
@@ -353,13 +330,13 @@ type Result struct {
 	Net *stats.Net
 
 	// Tel carries the telemetry subsystem when the run was instrumented
-	// (AttachTelemetry); nil otherwise. Its exporters write the run's
-	// time-series, heatmap, and trace artifacts.
+	// (Instrumentation.TelemetryEpoch); nil otherwise. Its exporters write
+	// the run's time-series, heatmap, and trace artifacts.
 	Tel *telemetry.Telemetry
 
 	// Spans carries the per-packet span collector when the run was traced
-	// (AttachSpans); nil otherwise. Its exporters write the span JSONL log
-	// and the Chrome trace-event file.
+	// (Instrumentation.Spans); nil otherwise. Its exporters write the span
+	// JSONL log and the Chrome trace-event file.
 	Spans *obs.Spans
 }
 
@@ -502,7 +479,7 @@ type RunOptions struct {
 // benchmark with the requested instrumentation, simulate warmup then
 // measurement under ctx's cancellation, release the kernel's worker pool,
 // and return the result. On cancellation the partial result is returned
-// together with ctx's error. It replaces the RunBenchmark* family.
+// together with ctx's error.
 func Run(ctx context.Context, cfg config.Config, benchmark string, opts RunOptions) (Result, error) {
 	prof, err := workload.Get(benchmark)
 	if err != nil {
@@ -522,33 +499,4 @@ func Run(ctx context.Context, cfg config.Config, benchmark string, opts RunOptio
 	defer sim.Close()
 	sim.SanitizeEvery = opts.SanitizeEvery
 	return sim.RunContext(ctx)
-}
-
-// RunBenchmark runs cfg on the named benchmark with no instrumentation.
-//
-// Deprecated: use Run(context.Background(), cfg, benchmark, RunOptions{}).
-func RunBenchmark(cfg config.Config, benchmark string) (Result, error) {
-	return Run(context.Background(), cfg, benchmark, RunOptions{})
-}
-
-// RunBenchmarkContext is RunBenchmark with cooperative cancellation.
-//
-// Deprecated: use Run(ctx, cfg, benchmark, RunOptions{}).
-func RunBenchmarkContext(ctx context.Context, cfg config.Config, benchmark string) (Result, error) {
-	return Run(ctx, cfg, benchmark, RunOptions{})
-}
-
-// RunBenchmarkSanitized is RunBenchmarkContext with the runtime sanitizer.
-//
-// Deprecated: use Run with RunOptions{SanitizeEvery: every}.
-func RunBenchmarkSanitized(ctx context.Context, cfg config.Config, benchmark string, every int) (Result, error) {
-	return Run(ctx, cfg, benchmark, RunOptions{SanitizeEvery: every})
-}
-
-// RunBenchmarkInstrumented is the sanitized runner plus telemetry.
-//
-// Deprecated: use Run with RunOptions{SanitizeEvery: sanitizeEvery,
-// TelemetryEpoch: telemetryEpoch}.
-func RunBenchmarkInstrumented(ctx context.Context, cfg config.Config, benchmark string, sanitizeEvery int, telemetryEpoch int64) (Result, error) {
-	return Run(ctx, cfg, benchmark, RunOptions{SanitizeEvery: sanitizeEvery, TelemetryEpoch: telemetryEpoch})
 }

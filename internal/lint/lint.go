@@ -34,6 +34,7 @@ import (
 // Finding is one analyzer diagnosis at a source position.
 type Finding struct {
 	Analyzer string
+	Severity string // SeverityError or SeverityWarning; filled by Run
 	Pos      token.Position
 	Message  string
 }
@@ -47,12 +48,18 @@ func (f Finding) String() string {
 type Analyzer struct {
 	Name string
 	Doc  string
-	Run  func(*Context) []Finding
+	// Severity classifies the analyzer's findings (SeverityError when
+	// empty). Warnings are heuristic checks with documented false-positive
+	// modes (hotpath); they still fail the run.
+	Severity string
+	Run      func(*Context) []Finding
 }
 
-// Analyzers returns the full suite in deterministic order.
+// Analyzers returns the full suite in deterministic order: the three
+// syntactic analyzers from PR 2, then the three semantic analyzers
+// (call-graph based) from PR 7.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{Determinism, Seedflow, Paniclint}
+	return []*Analyzer{Determinism, Seedflow, Paniclint, Laneowner, Hotpath, Publish}
 }
 
 // Context is what an analyzer sees: the package under analysis plus the
@@ -150,6 +157,7 @@ func parseDirectives(fset *token.FileSet, f *ast.File) ([]directive, []Finding) 
 			if strings.TrimSpace(reason) == "" {
 				bad = append(bad, Finding{
 					Analyzer: "noclint",
+					Severity: SeverityError,
 					Pos:      pos,
 					Message:  fmt.Sprintf("//noclint:%s directive needs a justification after the analyzer name", name),
 				})
@@ -185,14 +193,22 @@ func Run(pkgs []*Package, analyzers []*Analyzer, cfg Config, modulePath string) 
 		for _, f := range pkg.Files {
 			d, bad := parseDirectives(pkg.Fset, f)
 			dirs = append(dirs, d...)
-			out = append(out, bad...)
+			for _, b := range bad {
+				b.Pos.Filename = cfg.rel(b.Pos.Filename)
+				out = append(out, b)
+			}
 		}
 		for _, a := range analyzers {
 			ctx := &Context{Pkg: pkg, Cfg: cfg, ModulePath: modulePath}
+			sev := a.Severity
+			if sev == "" {
+				sev = SeverityError
+			}
 			for _, f := range a.Run(ctx) {
 				if cfg.Allowed(a.Name, f.Pos.Filename) || suppressed(dirs, a.Name, f.Pos) {
 					continue
 				}
+				f.Severity = sev
 				f.Pos.Filename = cfg.rel(f.Pos.Filename)
 				out = append(out, f)
 			}

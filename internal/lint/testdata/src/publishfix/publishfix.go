@@ -1,0 +1,50 @@
+// Package publishfix exercises the publish analyzer's caller-side rules:
+// tracking begins at a Set* hand-off and ends only when the buffer is rebound
+// to storage the server does not share.
+package publishfix
+
+import "gpgpunoc/internal/obs"
+
+// Mutates publishes and then keeps writing through every flagged shape.
+func Mutates(s *obs.Server) {
+	buf := make([]byte, 1, 64)
+	s.SetMetrics(buf)
+	buf[0] = 'y'           // want "write into buf after it was published via SetMetrics"
+	buf[0]++               // want "write into buf after it was published via SetMetrics"
+	buf = append(buf, 'z') // want "append to buf after it was published via SetMetrics"
+}
+
+// Reslice keeps the backing array: buf = buf[:0] stays tracked, so the later
+// append still mutates the published bytes.
+func Reslice(s *obs.Server) {
+	buf := make([]byte, 8)
+	s.SetProgress(buf)
+	buf = buf[:0]
+	buf = append(buf, 1) // want "append to buf after it was published via SetProgress"
+}
+
+// Fresh rebinds to a new buffer after publishing: the sanctioned pattern.
+func Fresh(s *obs.Server) {
+	buf := []byte("a")
+	s.SetState(buf)
+	buf = make([]byte, 0, 8) // fresh storage: tracking ends
+	buf = append(buf, 'b')
+	buf[0] = 'c'
+	s.SetState(buf)
+}
+
+// Temporary publishes an expression nothing can write into afterwards.
+func Temporary(s *obs.Server) {
+	s.SetMetrics([]byte("temp"))
+}
+
+// NotASink calls a Set* method on an unrelated type: no tracking.
+type fake struct{ b []byte }
+
+func (f *fake) SetMetrics(b []byte) { f.b = b }
+
+func NotASink(f *fake) {
+	buf := []byte("x")
+	f.SetMetrics(buf)
+	buf[0] = 'y'
+}

@@ -389,9 +389,11 @@ func (n *Network) injActiveCount() int {
 // its membership mark have a single writer.
 func (n *Network) wake(id mesh.NodeID) {
 	if !n.activeIn[id] {
+		//noclint:laneowner single-writer slot: activeIn[id] is written only by the lane owning id during the phases, serial tail otherwise
 		n.activeIn[id] = true
 		ln := &n.lanes[n.laneOf[id]]
-		ln.active = append(ln.active, int32(id))
+		//noclint:laneowner phase-time wakes target only routers the executing lane owns, so this resolves to the caller's own shard
+		ln.active = append(ln.active, int32(id)) //noclint:hotpath amortized: active keeps its backing array across compactions
 	}
 }
 
@@ -553,6 +555,7 @@ func (n *Network) sinkAccept(node mesh.NodeID, f packet.Flit) bool {
 	if s == nil {
 		panic(fmt.Sprintf("noc: ejection at node %d with no sink", node))
 	}
+	//noclint:laneowner sinks are per-node state: a node's sink runs only on the lane owning that node
 	return s(f)
 }
 
@@ -563,6 +566,8 @@ func (n *Network) sinkAccept(node mesh.NodeID, f packet.Flit) bool {
 // feeds exactly one input port, so (op.pending, op.dirty) are written only
 // by the lane owning the downstream router — the port's owning lane
 // concurrently touches only disjoint fields (credits, reg, owner).
+//
+//noclint:hotpath root: credit tally, once per flit moved through the switch
 func (n *Network) queueCredit(ln *lane, rt *router, inPort mesh.Direction, vcIdx int) {
 	op := rt.upstream[inPort]
 	if op == nil {
@@ -571,7 +576,7 @@ func (n *Network) queueCredit(ln *lane, rt *router, inPort mesh.Direction, vcIdx
 	op.pending[vcIdx]++
 	if !op.dirty {
 		op.dirty = true
-		ln.creditDirty = append(ln.creditDirty, op)
+		ln.creditDirty = append(ln.creditDirty, op) //noclint:hotpath amortized: creditDirty keeps its backing array across the serial tail's [:0] reset
 	}
 }
 
@@ -603,9 +608,11 @@ func (n *Network) injectNode(ln *lane, id int) {
 			p.InjectedAt = n.cycle
 			ln.stats.CountInjection(p)
 			if n.tracer != nil {
+				//noclint:laneowner serial-only: Step runs lanes inline whenever a tracer is attached
 				n.tracer.PacketInjected(p, n.cycle)
 			}
 			if n.spans != nil && p.Sampled {
+				//noclint:laneowner serial-only: Step runs lanes inline whenever a span collector is attached
 				n.spans.Injected(p, best, n.cycle)
 			}
 		}
@@ -621,6 +628,7 @@ func (n *Network) injectNode(ln *lane, id int) {
 			budget--
 			ln.moved = true
 			if n.tel != nil {
+				//noclint:laneowner single-writer counter: node id injects only on its owning lane
 				n.tel.InjFlits[id].Inc()
 			}
 		}
@@ -653,7 +661,7 @@ func (n *Network) linkPhase(ln *lane, rt *router) {
 		if dn := int(op.downNode); dn >= ln.lo && dn < ln.hi {
 			n.deliver(rt, op)
 		} else {
-			ln.outbox = append(ln.outbox, delivery{rt: rt, op: op})
+			ln.outbox = append(ln.outbox, delivery{rt: rt, op: op}) //noclint:hotpath amortized: outbox keeps its backing array across the serial tail's [:0] reset
 		}
 	}
 }

@@ -130,6 +130,8 @@ func (n *Network) buildLanes(workers, width, height int) {
 // Sparse sets are sorted and walked directly; once a set covers a quarter
 // of the lane, a full ascending scan through the same emptiness gate is
 // cheaper than sorting, and visits the same nodes in the same order.
+//
+//noclint:hotpath root: per-cycle injection phase of the cycle kernel
 func (n *Network) injectPhase(ln *lane) {
 	ln.moved = false
 	if len(ln.injActive)*4 >= ln.hi-ln.lo {
@@ -149,6 +151,8 @@ func (n *Network) injectPhase(ln *lane) {
 // routerPhase runs RC/VA/SA/ST for the lane's active routers, ascending.
 // The sort happens after injection so routers woken by this cycle's
 // injected flits are visited, exactly as the reference scan would.
+//
+//noclint:hotpath root: per-cycle router step (RC/VA/SA/ST)
 func (n *Network) routerPhase(ln *lane) {
 	ln.dense = len(ln.active)*4 >= ln.hi-ln.lo
 	if ln.dense {
@@ -183,6 +187,8 @@ func (n *Network) routerPhase(ln *lane) {
 
 // linkPhaseLane delivers completed link traversals for the lane's routers,
 // walking the same snapshot the router phase used.
+//
+//noclint:hotpath root: per-cycle link traversal phase
 func (n *Network) linkPhaseLane(ln *lane) {
 	if ln.dense {
 		for i := ln.lo; i < ln.hi; i++ {

@@ -35,6 +35,7 @@ func (r *ring) len() int  { return r.n }
 func (r *ring) cap() int  { return len(r.buf) }
 func (r *ring) free() int { return len(r.buf) - r.n }
 
+//noclint:hotpath root: VC ring push, once per flit buffered
 func (r *ring) push(f packet.Flit, cycle int64) {
 	if r.n == len(r.buf) {
 		panic("noc: VC buffer overflow; credit accounting is broken")
@@ -49,6 +50,8 @@ func (r *ring) push(f packet.Flit, cycle int64) {
 
 // front returns the oldest buffered flit without copying it; the pointer is
 // valid until the next push or pop.
+//
+//noclint:hotpath root: VC ring peek, inside the allocation scans
 func (r *ring) front() *bufFlit {
 	if r.n == 0 {
 		panic("noc: front of empty VC buffer")
@@ -58,6 +61,8 @@ func (r *ring) front() *bufFlit {
 
 // frontArrived returns the arrival cycle of the oldest buffered flit; the
 // pipeline-delay check in sendable needs only this field.
+//
+//noclint:hotpath root: VC ring peek, inside the pipeline-delay gate
 func (r *ring) frontArrived() int64 {
 	if r.n == 0 {
 		panic("noc: front of empty VC buffer")
@@ -65,6 +70,7 @@ func (r *ring) frontArrived() int64 {
 	return r.buf[r.head].arrived
 }
 
+//noclint:hotpath root: VC ring pop, once per flit moved through the switch
 func (r *ring) pop() bufFlit {
 	if r.n == 0 {
 		panic("noc: front of empty VC buffer")

@@ -180,6 +180,7 @@ func (n *Network) routeCompute(rt *router) {
 			if tab := n.routeTab[cls]; tab != nil {
 				ivc.route = mesh.Direction(tab[int(rt.id)*n.numNodes+int(f.Pkt.Dst)])
 			} else {
+				//noclint:laneowner read-only: routing algorithms are pure functions of (coord, dest, class)
 				ivc.route = n.alg.NextHop(rt.coord, n.m.Coord(mesh.NodeID(f.Pkt.Dst)), cls)
 			}
 			ivc.cls = cls
@@ -220,7 +221,7 @@ func (n *Network) vcAllocate(rt *router) {
 			}
 			// Pack (input index, class) into one word so the grant scan
 			// below needs no division or buffer access per requester.
-			rt.reqScratch[ivc.route] = append(rt.reqScratch[ivc.route], (p*V+v)<<1|int(ivc.cls))
+			rt.reqScratch[ivc.route] = append(rt.reqScratch[ivc.route], (p*V+v)<<1|int(ivc.cls)) //noclint:hotpath amortized: scratch is arena-backed with capacity for every (port, VC) pair
 		}
 	}
 	for d := mesh.North; d < mesh.Local; d++ {
@@ -260,6 +261,7 @@ func (n *Network) vcAllocate(rt *router) {
 			rt.vaReq--
 			if n.spans != nil {
 				if pkt := rt.in[idx/V][idx%V].buf.front().flit.Pkt; pkt.Sampled {
+					//noclint:laneowner serial-only: Step runs lanes inline whenever a span collector is attached
 					n.spans.VCGrant(pkt, int(rt.id), int(op.downNode), ovc, n.cycle)
 				}
 			}
@@ -410,6 +412,7 @@ func (n *Network) countStalls(ln *lane, rt *router, movedVC *[mesh.NumPorts]int)
 			}
 			if n.spans != nil {
 				if pkt := ivc.buf.front().flit.Pkt; pkt.Sampled {
+					//noclint:laneowner serial-only: Step runs lanes inline whenever a span collector is attached
 					n.spans.Stall(pkt, int(rt.id), cause, n.cycle)
 				}
 			}
@@ -455,20 +458,23 @@ func (n *Network) traverse(ln *lane, rt *router, p, v int, d mesh.Direction) boo
 	if d == mesh.Local {
 		ln.ejectedFlits++
 		if n.tel != nil {
+			//noclint:laneowner single-writer counter: router rt ejects only on its owning lane
 			n.tel.EjFlits[rt.id].Inc()
 		}
 		if f.Tail {
 			ln.stats.CountEjection(f.Pkt)
 			if n.tracer != nil {
+				//noclint:laneowner serial-only: Step runs lanes inline whenever a tracer is attached
 				n.tracer.PacketEjected(f.Pkt, n.cycle)
 			}
 			if n.tel != nil {
 				// Deferred to the end-of-cycle flush: the latency histograms
 				// are shared across lanes, so observations are replayed in
 				// lane order at the cycle boundary.
-				ln.ejected = append(ln.ejected, f.Pkt)
+				ln.ejected = append(ln.ejected, f.Pkt) //noclint:hotpath amortized: ejected keeps its backing array across the serial tail's [:0] reset
 			}
 			if n.spans != nil && f.Pkt.Sampled {
+				//noclint:laneowner serial-only: Step runs lanes inline whenever a span collector is attached
 				n.spans.Ejected(f.Pkt, n.cycle)
 			}
 		}
@@ -480,14 +486,18 @@ func (n *Network) traverse(ln *lane, rt *router, p, v int, d mesh.Direction) boo
 		op.regValid = true
 		op.regReadyAt = n.cycle + n.linkPeriod - 1
 		rt.regCount++
+		//noclint:laneowner single-writer counter: the link (rt, d) is traversed only by rt's owning lane
 		n.stats.CountLink(mesh.Link{From: rt.id, Dir: d}, f.Pkt.Class())
 		if n.tracer != nil {
+			//noclint:laneowner serial-only: Step runs lanes inline whenever a tracer is attached
 			n.tracer.FlitHop(f, mesh.Link{From: rt.id, Dir: d}, n.cycle)
 		}
 		if n.tel != nil {
+			//noclint:laneowner single-writer counter: the link (rt, d) is traversed only by rt's owning lane
 			n.tel.LinkFlits[f.Pkt.Class()][n.m.LinkIndex(mesh.Link{From: rt.id, Dir: d})].Inc()
 		}
 		if n.spans != nil && f.Head && f.Pkt.Sampled {
+			//noclint:laneowner serial-only: Step runs lanes inline whenever a span collector is attached
 			n.spans.Hop(f.Pkt, int(rt.id), int(op.downNode), ivc.outVC, n.cycle)
 		}
 	}

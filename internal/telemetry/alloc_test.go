@@ -1,0 +1,49 @@
+package telemetry
+
+import (
+	"testing"
+
+	"gpgpunoc/internal/mesh"
+	"gpgpunoc/internal/packet"
+)
+
+// The probe hot path's zero-allocation contract — statically proven by the
+// hotpath analyzer from the //noclint:hotpath roots on Counter.Inc, Gauge.Set
+// and Histogram.Observe — is pinned dynamically here.
+
+func TestProbeUpdatesDoNotAllocate(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c")
+	g := reg.Gauge("g")
+	h := reg.Histogram("h", ExpBounds(8, 2, 12))
+
+	allocs := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(7)
+		g.Add(-2)
+		h.Observe(129)
+	})
+	if allocs != 0 {
+		t.Errorf("probe updates allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+func TestPacketEjectedDoesNotAllocate(t *testing.T) {
+	reg := NewRegistry()
+	np := NewNetProbes(reg, mesh.New(4, 4), "")
+	p := &packet.Packet{
+		Type:          packet.ReadReply,
+		ReqTimed:      true,
+		ReqCreatedAt:  0,
+		ReqInjectedAt: 4,
+		ReqEjectedAt:  40,
+		InjectedAt:    90,
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		np.PacketEjected(p, 160)
+	})
+	if allocs != 0 {
+		t.Errorf("PacketEjected allocated %.1f times per run, want 0", allocs)
+	}
+}
