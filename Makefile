@@ -3,12 +3,14 @@ SMOKE_OUT := $(shell mktemp -u /tmp/sweep-smoke.XXXXXX.jsonl)
 TELEMETRY_DEMO_OUT ?= telemetry-demo
 
 PROFILE_OUT ?= profiles
+FABRIC_ADDR ?= 127.0.0.1:9178
+FABRIC_TMP := $(shell mktemp -u /tmp/fabric-smoke.XXXXXX)
 BENCH_JSON ?= BENCH_PR6.json
 BENCH_BASELINE ?= BENCH_PR6.json
 BENCH_DIFF_JSON := $(shell mktemp -u /tmp/bench-diff.XXXXXX.json)
 OBS_DEMO_ADDR ?= 127.0.0.1:9177
 
-.PHONY: check lint vet build test race smoke bench-smoke telemetry-demo profile bench-json bench-diff obs-demo clean
+.PHONY: check lint vet build test race smoke fabric-smoke bench-smoke telemetry-demo profile bench-json bench-diff obs-demo clean
 
 # check is the full pre-merge gate: static analysis, build, race-enabled
 # tests, an end-to-end smoke sweep through cmd/sweep, and a one-iteration
@@ -46,6 +48,45 @@ smoke:
 	$(GO) run ./cmd/sweep -spec examples/sweepspec_smoke.json -out $(SMOKE_OUT)
 	$(GO) run ./cmd/sweep -spec examples/sweepspec_smoke.json -out $(SMOKE_OUT)
 	@rm -f $(SMOKE_OUT)
+
+# fabric-smoke proves the distributed sweep fabric end-to-end: a
+# single-process reference run (-ordered), then a coordinator with two
+# workers over the same spec — one worker killed mid-run so its lease
+# expires and its jobs are re-queued — and a byte-for-byte diff of the two
+# JSONL outputs. A final resubmit of the identical spec must be answered
+# entirely from the content-addressed store (0 pending jobs).
+fabric-smoke:
+	@mkdir -p $(FABRIC_TMP)
+	$(GO) build -o $(FABRIC_TMP)/sweep ./cmd/sweep
+	$(FABRIC_TMP)/sweep -spec examples/sweepspec_smoke.json -out $(FABRIC_TMP)/single.jsonl -ordered
+	@set -e; \
+	$(FABRIC_TMP)/sweep -serve $(FABRIC_ADDR) -store $(FABRIC_TMP)/store \
+		-lease-jobs 1 -lease-ttl 3s -heartbeat 500ms & coord=$$!; \
+	w1=; w2=; trap 'kill $$coord $$w1 $$w2 2>/dev/null || true' EXIT; \
+	for i in $$(seq 1 100); do \
+		curl -fsS http://$(FABRIC_ADDR)/healthz >/dev/null 2>&1 && break; sleep 0.1; \
+	done; \
+	$(FABRIC_TMP)/sweep -connect http://$(FABRIC_ADDR) & w1=$$!; \
+	$(FABRIC_TMP)/sweep -connect http://$(FABRIC_ADDR) & w2=$$!; \
+	id=$$(curl -fsS -X POST --data-binary @examples/sweepspec_smoke.json \
+		http://$(FABRIC_ADDR)/submit | sed 's/.*"sweep_id":"\([^"]*\)".*/\1/'); \
+	echo "sweep $$id submitted"; \
+	sleep 0.5; kill -9 $$w1 2>/dev/null || true; echo "killed worker 1 mid-run"; \
+	for i in $$(seq 1 240); do \
+		curl -fsS http://$(FABRIC_ADDR)/sweeps/$$id | grep -q '"status":"done"' && break; \
+		sleep 0.5; \
+	done; \
+	curl -fsS http://$(FABRIC_ADDR)/sweeps/$$id | grep -q '"status":"done"' \
+		|| { echo "fabric-smoke: sweep never finished"; exit 1; }; \
+	curl -fsS http://$(FABRIC_ADDR)/sweeps/$$id/results > $(FABRIC_TMP)/fabric.jsonl; \
+	cmp $(FABRIC_TMP)/single.jsonl $(FABRIC_TMP)/fabric.jsonl \
+		|| { echo "fabric-smoke: distributed output differs from single-process"; exit 1; }; \
+	echo "fabric output byte-identical to single-process ($$(wc -c < $(FABRIC_TMP)/fabric.jsonl) bytes)"; \
+	curl -fsS -X POST --data-binary @examples/sweepspec_smoke.json http://$(FABRIC_ADDR)/submit \
+		| grep -q '"pending":0' \
+		|| { echo "fabric-smoke: resubmit was not served from the store"; exit 1; }; \
+	echo "resubmit served entirely from store"
+	@rm -rf $(FABRIC_TMP)
 
 # bench-smoke compiles and runs every benchmark exactly once — it catches
 # bit-rotted benches without paying for real measurement runs.

@@ -4,12 +4,23 @@
 // one JSONL record per job so partial results are usable and re-runs
 // resume where they left off.
 //
+// Beyond the default single-process mode, the same binary is the
+// distributed sweep fabric (internal/fabric): `-serve` runs the shared
+// coordinator — expanding submitted specs, leasing jobs to workers, and
+// caching every result in a content-addressed store so identical
+// configurations are never simulated twice — and `-connect` runs a worker
+// against it.
+//
 // Examples:
 //
 //	sweep -spec examples/sweepspec.json -out results.jsonl
 //	sweep -benchmarks KMN,BFS -routings xy,yx -vcpolicies split,monopolized -seeds 1,2
 //	sweep -spec examples/sweepspec.json -out results.jsonl            # re-run: resumes
 //	sweep -spec examples/sweepspec.json -dry-run                      # list the grid
+//
+//	sweep -serve 127.0.0.1:9178 -spec examples/sweepspec.json         # coordinator
+//	sweep -connect http://127.0.0.1:9178                              # worker (run several)
+//	curl http://127.0.0.1:9178/sweeps/<id>/results                    # results, fixed order
 package main
 
 import (
@@ -24,6 +35,7 @@ import (
 	"time"
 
 	"gpgpunoc/internal/config"
+	"gpgpunoc/internal/fabric"
 	"gpgpunoc/internal/gpu"
 	"gpgpunoc/internal/obs"
 	"gpgpunoc/internal/profiling"
@@ -38,6 +50,7 @@ func main() {
 		jobsN    = flag.Int("jobs", 0, "concurrent jobs (default GOMAXPROCS); -workers is the per-job cycle-kernel domain count")
 		timeout  = flag.Duration("timeout", 0, "per-job timeout, e.g. 30s (default none)")
 		resume   = flag.Bool("resume", true, "skip jobs whose fingerprint is already in -out")
+		ordered  = flag.Bool("ordered", false, "write records in grid (expansion) order instead of completion order, so result files of the same spec diff cleanly")
 		dryRun   = flag.Bool("dry-run", false, "print the expanded job list and exit")
 		quiet    = flag.Bool("quiet", false, "suppress per-job progress lines")
 		panicAt  = flag.Int("panic-at", -1, "inject a panic into the Nth job (failure-isolation testing)")
@@ -60,6 +73,7 @@ func main() {
 		seeds      = flag.String("seeds", "", "comma-separated seed grid (default: base seed)")
 		skipBad    = flag.Bool("skip-invalid", true, "drop grid points failing validation instead of erroring")
 	)
+	fab := config.BindFabricFlags(flag.CommandLine)
 	// The base configuration under the grid comes from the shared
 	// flag→config API, so `-config file.json` or `-vcs 4` shapes every job.
 	cf := config.BindFlags(flag.CommandLine)
@@ -67,6 +81,48 @@ func main() {
 
 	if err := config.ValidateTelemetryEpoch(*telEpoch); err != nil {
 		fatal(err)
+	}
+	if err := fab.Validate(); err != nil {
+		fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	// The instruments select the base runner; fault injection (single mode)
+	// then wraps it rather than replacing it, so every job except the
+	// targeted one still simulates for real.
+	runner := sweep.Simulate
+	telemetryDir := ""
+	switch {
+	case *telEpoch > 0:
+		runner = sweep.SimulateInstrumented(*sanitize, *telEpoch)
+		telemetryDir = *telDir
+		if telemetryDir == "" {
+			telemetryDir = *out + ".telemetry"
+		}
+	case *sanitize > 0:
+		runner = sweep.SimulateSanitized(*sanitize)
+	}
+
+	switch fab.Mode() {
+	case "serve":
+		if err := runServe(ctx, fab, *specFile, *out); err != nil {
+			fatal(err)
+		}
+		return
+	case "connect":
+		if *telEpoch > 0 {
+			fmt.Fprintln(os.Stderr, "sweep: -telemetry-epoch is ignored in worker mode (artifacts would be stranded on the worker)")
+			runner = sweep.Simulate
+			if *sanitize > 0 {
+				runner = sweep.SimulateSanitized(*sanitize)
+			}
+		}
+		if err := runWorker(ctx, fab, runner, *jobsN, *timeout); err != nil && ctx.Err() == nil {
+			fatal(err)
+		}
+		return
 	}
 
 	spec, err := buildSpec(*specFile, cf, gridFlags{
@@ -96,16 +152,26 @@ func main() {
 
 	done := map[string]bool{}
 	if *resume {
-		if done, err = sweep.CompletedFingerprints(*out); err != nil {
+		var warning string
+		if done, warning, err = sweep.CompletedFingerprints(*out); err != nil {
 			fatal(err)
 		}
+		if warning != "" {
+			fmt.Fprintf(os.Stderr, "sweep: resume from %s: %s\n", *out, warning)
+		}
 	}
-	sink, err := sweep.OpenJSONL(*out)
+	jsonl, err := sweep.OpenJSONL(*out)
 	if err != nil {
 		fatal(err)
 	}
+	var sink sweep.Sink = jsonl
+	var orderedSink *sweep.Ordered
+	if *ordered {
+		orderedSink = sweep.NewOrdered(jsonl, jobs)
+		sink = orderedSink
+	}
 
-	opts := sweep.Options{Workers: *jobsN, Timeout: *timeout, Done: done}
+	opts := sweep.Options{Workers: *jobsN, Timeout: *timeout, Done: done, TelemetryDir: telemetryDir}
 	var printer *sweep.Printer
 	if !*quiet {
 		printer = sweep.NewPrinter(os.Stderr, len(jobs))
@@ -141,20 +207,6 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "observability: http://%s/{metrics,state,progress,healthz}\n", srv.Addr())
 	}
-	// The instruments select the base runner; fault injection then wraps it
-	// rather than replacing it, so every job except the targeted one still
-	// simulates for real (sanitized/instrumented when requested).
-	runner := sweep.Simulate
-	switch {
-	case *telEpoch > 0:
-		runner = sweep.SimulateInstrumented(*sanitize, *telEpoch)
-		opts.TelemetryDir = *telDir
-		if opts.TelemetryDir == "" {
-			opts.TelemetryDir = *out + ".telemetry"
-		}
-	case *sanitize > 0:
-		runner = sweep.SimulateSanitized(*sanitize)
-	}
 	opts.Run = runner
 	if *panicAt >= 0 {
 		target := jobs[min(*panicAt, len(jobs)-1)].Key
@@ -166,9 +218,6 @@ func main() {
 		}
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
-
 	stopProf, err := profiling.Start(*cpuProf, *memProf)
 	if err != nil {
 		fatal(err)
@@ -177,7 +226,12 @@ func main() {
 	start := time.Now()
 	outs, runErr := sweep.Run(ctx, jobs, sink, opts)
 	summary := sweep.Summarize(outs)
-	if cerr := sink.Close(); cerr != nil && runErr == nil {
+	if orderedSink != nil {
+		if ferr := orderedSink.Flush(); ferr != nil && runErr == nil {
+			runErr = ferr
+		}
+	}
+	if cerr := jsonl.Close(); cerr != nil && runErr == nil {
 		runErr = cerr
 	}
 	if printer != nil {
@@ -194,6 +248,73 @@ func main() {
 	if runErr != nil {
 		fatal(runErr)
 	}
+}
+
+// runServe runs the fabric coordinator: open the content-addressed store,
+// serve the submit/lease/results API, optionally submit an initial spec,
+// and hold until interrupted.
+func runServe(ctx context.Context, fab *config.Fabric, specFile, out string) error {
+	storeDir := fab.StoreDir
+	if storeDir == "" {
+		storeDir = out + ".store"
+	}
+	store, err := fabric.OpenStore(storeDir)
+	if err != nil {
+		return err
+	}
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+	co := fabric.NewCoordinator(store, fabric.Options{
+		LeaseTTL:    fab.LeaseTTL,
+		LeaseJobs:   fab.LeaseJobs,
+		MaxAttempts: fab.MaxAttempts,
+		Heartbeat:   fab.Heartbeat,
+		Logf:        logf,
+	})
+	srv, err := fabric.NewServer(fab.Serve, co)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Fprintf(os.Stderr, "coordinator: http://%s/{submit,sweeps,results,workers,progress,healthz}\n", srv.Addr())
+	fmt.Fprintf(os.Stderr, "store: %s (%d cached results)\n", storeDir, store.Len())
+
+	if specFile != "" {
+		spec, err := sweep.ReadSpec(specFile)
+		if err != nil {
+			return err
+		}
+		resp, err := co.Submit(spec)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("sweep %s: %d jobs (%d cached, %d pending, %d skipped)\n",
+			resp.SweepID, resp.Total, resp.Cached, resp.Pending, resp.Skipped)
+		fmt.Printf("results: http://%s/sweeps/%s/results\n", srv.Addr(), resp.SweepID)
+	}
+
+	<-ctx.Done()
+	fmt.Fprintln(os.Stderr, "coordinator: shutting down")
+	return nil
+}
+
+// runWorker runs the fabric worker loop against a coordinator until
+// interrupted.
+func runWorker(ctx context.Context, fab *config.Fabric, runner sweep.RunFunc, jobs int, timeout time.Duration) error {
+	name, _ := os.Hostname()
+	name = fmt.Sprintf("%s/%d", name, os.Getpid())
+	w := fabric.NewWorker(fab.Connect, fabric.WorkerOptions{
+		Name:    name,
+		Run:     runner,
+		Jobs:    jobs,
+		Timeout: timeout,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	fmt.Fprintf(os.Stderr, "worker %s: connecting to %s\n", name, fab.Connect)
+	return w.Run(ctx)
 }
 
 type gridFlags struct {

@@ -1,0 +1,119 @@
+// The content-addressed result store: one JSON file per completed job,
+// named by the job fingerprint (the truncated SHA-256 of its canonical
+// benchmark+configuration encoding that already keys sweep resume). The
+// fingerprint is the address; whoever computed the result is irrelevant.
+// Only StatusOK records are stored — failures are retried or quarantined
+// by the coordinator, never cached — so a hit can always be served as a
+// finished result.
+
+package fabric
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"gpgpunoc/internal/sweep"
+)
+
+// Store is a directory of fingerprint-addressed result records with an
+// in-memory index. All methods are safe for concurrent use.
+type Store struct {
+	dir string
+
+	mu   sync.Mutex
+	recs map[string]sweep.Record
+}
+
+// OpenStore opens (creating if needed) the store at dir and loads its
+// index. Files that do not parse as OK records — a torn write from a crash
+// without rename, a stray file — are skipped, not fatal: the worst case is
+// re-simulating one job.
+func OpenStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("fabric: store: %w", err)
+	}
+	s := &Store{dir: dir, recs: map[string]sweep.Record{}}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("fabric: store: %w", err)
+	}
+	// Sorted load order keeps any skip diagnostics deterministic.
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fp := strings.TrimSuffix(name, ".json")
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			continue
+		}
+		var rec sweep.Record
+		if err := json.Unmarshal(data, &rec); err != nil {
+			continue
+		}
+		// The filename must agree with the record it holds: a mismatch
+		// would serve some other configuration's result under this key.
+		if rec.Fingerprint != fp || rec.Status != sweep.StatusOK {
+			continue
+		}
+		s.recs[fp] = rec
+	}
+	return s, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Get returns the stored record for a fingerprint.
+func (s *Store) Get(fp string) (sweep.Record, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.recs[fp]
+	return rec, ok
+}
+
+// Len returns the number of stored records.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.recs)
+}
+
+// Put stores an OK record under its fingerprint, atomically (write to a
+// temp file, then rename) so a crash can never leave a half-written record
+// under a valid address. Non-OK records are rejected: the store must only
+// ever answer with results that can be served as finished.
+func (s *Store) Put(rec sweep.Record) error {
+	if rec.Status != sweep.StatusOK {
+		return fmt.Errorf("fabric: store: refusing to cache non-OK record %s (%s)", rec.Fingerprint, rec.Status)
+	}
+	if rec.Fingerprint == "" {
+		return fmt.Errorf("fabric: store: record without fingerprint")
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("fabric: store: %w", err)
+	}
+	final := filepath.Join(s.dir, rec.Fingerprint+".json")
+	tmp := final + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("fabric: store: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("fabric: store: %w", err)
+	}
+	s.mu.Lock()
+	s.recs[rec.Fingerprint] = rec
+	s.mu.Unlock()
+	return nil
+}

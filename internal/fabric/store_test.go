@@ -1,0 +1,116 @@
+package fabric
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gpgpunoc/internal/config"
+	"gpgpunoc/internal/sweep"
+)
+
+func testJobs(t *testing.T) []sweep.Job {
+	t.Helper()
+	spec := sweep.Spec{
+		Benchmarks:    []string{"KMN"},
+		Routings:      []config.Routing{config.RoutingXY, config.RoutingYX},
+		Seeds:         []uint64{1, 2},
+		WarmupCycles:  100,
+		MeasureCycles: 400,
+	}
+	jobs, _, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return jobs
+}
+
+func okRecord(j sweep.Job) sweep.Record {
+	rec := sweep.NewRecord(j)
+	rec.Status = sweep.StatusOK
+	return rec
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := testJobs(t)
+	rec := okRecord(jobs[0])
+	if err := s.Put(rec); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(rec.Fingerprint)
+	if !ok || got.Key != rec.Key {
+		t.Fatalf("Get(%s) = %+v, %v", rec.Fingerprint, got, ok)
+	}
+	if _, ok := s.Get("nope"); ok {
+		t.Fatal("Get of unknown fingerprint hit")
+	}
+
+	// A second store on the same directory reloads the index — the
+	// crash-resume path.
+	s2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 1 {
+		t.Fatalf("reloaded store has %d records, want 1", s2.Len())
+	}
+	if got, ok := s2.Get(rec.Fingerprint); !ok || got.Key != rec.Key {
+		t.Fatalf("reloaded Get = %+v, %v", got, ok)
+	}
+}
+
+func TestStoreRejectsNonOK(t *testing.T) {
+	s, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := okRecord(testJobs(t)[0])
+	rec.Status = sweep.StatusFailed
+	if err := s.Put(rec); err == nil {
+		t.Fatal("store cached a failed record")
+	}
+	rec.Status = sweep.StatusOK
+	rec.Fingerprint = ""
+	if err := s.Put(rec); err == nil {
+		t.Fatal("store cached a record without a fingerprint")
+	}
+}
+
+// TestStoreLoadSkipsGarbage: torn or mislabeled files are skipped on load,
+// never fatal, and a filename/fingerprint mismatch is not trusted.
+func TestStoreLoadSkipsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	jobs := testJobs(t)
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := okRecord(jobs[0])
+	if err := s.Put(good); err != nil {
+		t.Fatal(err)
+	}
+	// Torn write (no rename crash cleanup), mislabeled record, junk.
+	if err := os.WriteFile(filepath.Join(dir, "deadbeef.json"), []byte(`{"finger`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mislabeled := okRecord(jobs[1])
+	data, _ := os.ReadFile(filepath.Join(dir, good.Fingerprint+".json"))
+	if err := os.WriteFile(filepath.Join(dir, mislabeled.Fingerprint+".json"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 1 {
+		t.Fatalf("store loaded %d records, want 1 (garbage and mismatches skipped)", s2.Len())
+	}
+	if _, ok := s2.Get(mislabeled.Fingerprint); ok {
+		t.Fatal("store served a record from a mislabeled file")
+	}
+}

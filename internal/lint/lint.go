@@ -92,7 +92,11 @@ type Config struct {
 // sweep progress printer, the engine's job timing, and the observability
 // progress publisher measure real elapsed time (they never feed
 // simulation state), and the lint package itself is tooling, not
-// simulation.
+// simulation. The fabric scheduler (coordinator lease deadlines, worker
+// heartbeats, the HTTP server goroutine) is orchestration around the
+// engine: wall-clock time decides WHEN a job runs, never WHAT it
+// computes — its wire types and content store (protocol.go, store.go)
+// stay under the analyzer.
 func DefaultConfig(moduleRoot string) Config {
 	return Config{
 		ModuleRoot: moduleRoot,
@@ -100,6 +104,9 @@ func DefaultConfig(moduleRoot string) Config {
 			Determinism.Name: {
 				"cmd/",
 				"internal/lint/",
+				"internal/fabric/coordinator.go",
+				"internal/fabric/server.go",
+				"internal/fabric/worker.go",
 				"internal/obs/progress.go",
 				"internal/obs/server.go",
 				"internal/sweep/engine.go",

@@ -80,3 +80,31 @@ func SuppressedGoroutine(ch chan int) {
 	//noclint:determinism effects merge in fixed order downstream
 	go func() { ch <- 1 }()
 }
+
+// LeaseExpiry mirrors the fabric coordinator's scheduler pattern: a
+// wall-clock read justified by a directive (lease lifetimes are real
+// elapsed time, not simulation state), while the deadline comparison and
+// the map range over the lease table are still flagged — the directive
+// covers only its own line, and expiry must process leases in sorted
+// order. Production fabric files carry a DefaultConfig allowlist entry
+// instead of per-line directives.
+type leaseRec struct{ expires time.Time }
+
+func LeaseExpiry(leases map[string]leaseRec) []string {
+	//noclint:determinism lease deadlines are wall-clock by design, never simulation input
+	now := time.Now()
+	var expired []string
+	for id, l := range leases { // want "map iteration order is nondeterministic"
+		if now.After(l.expires) { // want "time.After reads the wall clock"
+			expired = append(expired, id)
+		}
+	}
+	return expired
+}
+
+// ServeInBackground mirrors the fabric/obs HTTP servers: a background
+// accept-loop goroutine off the simulation path, suppressed with a reason.
+func ServeInBackground(serve func() error) {
+	//noclint:determinism HTTP accept loop never touches simulation state
+	go func() { _ = serve() }()
+}

@@ -89,9 +89,8 @@ func (s *Server) SetProgressJSON(v any) error {
 	return nil
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	Healthz(w, r)
 }
 
 // serveSnapshot writes the latest published bytes, or 503 before the
@@ -100,12 +99,7 @@ func (s *Server) serveSnapshot(w http.ResponseWriter, contentType string, read f
 	s.mu.RLock()
 	b := read()
 	s.mu.RUnlock()
-	if len(b) == 0 {
-		http.Error(w, "no snapshot published yet", http.StatusServiceUnavailable)
-		return
-	}
-	w.Header().Set("Content-Type", contentType)
-	_, _ = w.Write(b)
+	WriteSnapshot(w, contentType, b)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {

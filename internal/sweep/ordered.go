@@ -1,0 +1,103 @@
+// Engine hooks for external job sources and sinks. The engine itself
+// streams records in completion order — fastest-first, so a crash loses
+// nothing — but completion order depends on scheduling, which makes two
+// result files of the same grid hard to diff. Ordered re-sequences the
+// stream into expansion order at the sink boundary, and Memory collects
+// records for callers that forward them elsewhere (the fabric worker
+// batches them back to its coordinator). Both are Sinks, so they compose
+// with the engine unchanged.
+
+package sweep
+
+import "sync"
+
+// Memory is a Sink that collects records in completion order. Records
+// returns a snapshot; the zero value is ready to use.
+type Memory struct {
+	mu   sync.Mutex
+	recs []Record
+}
+
+// Write appends one record.
+func (m *Memory) Write(rec Record) error {
+	m.mu.Lock()
+	m.recs = append(m.recs, rec)
+	m.mu.Unlock()
+	return nil
+}
+
+// Records returns a copy of everything written so far.
+func (m *Memory) Records() []Record {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]Record(nil), m.recs...)
+}
+
+// Ordered wraps a Sink so records reach it in job (expansion) order
+// regardless of completion order: record i is held until records 0..i-1
+// have been written. With the deterministic grid expansion this makes two
+// runs of the same spec — single-process or distributed — produce
+// byte-identical result files.
+//
+// Records are matched to positions by fingerprint, which the expansion
+// guarantees unique per grid point. A record whose fingerprint is not in
+// the job list (or whose slot was already filled) passes straight through:
+// Ordered never swallows data it cannot place.
+type Ordered struct {
+	mu    sync.Mutex
+	sink  Sink
+	index map[string]int
+	buf   []*Record
+	next  int // first position not yet written to sink
+}
+
+// NewOrdered returns an Ordered releasing records to sink in the order jobs
+// are listed.
+func NewOrdered(sink Sink, jobs []Job) *Ordered {
+	o := &Ordered{
+		sink:  sink,
+		index: make(map[string]int, len(jobs)),
+		buf:   make([]*Record, len(jobs)),
+	}
+	for i, j := range jobs {
+		o.index[j.Fingerprint()] = i
+	}
+	return o
+}
+
+// Write buffers rec at its job position and flushes the contiguous prefix
+// of finished records.
+func (o *Ordered) Write(rec Record) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	i, ok := o.index[rec.Fingerprint]
+	if !ok || o.buf[i] != nil {
+		return o.sink.Write(rec)
+	}
+	r := rec
+	o.buf[i] = &r
+	for o.next < len(o.buf) && o.buf[o.next] != nil {
+		if err := o.sink.Write(*o.buf[o.next]); err != nil {
+			return err
+		}
+		o.next++
+	}
+	return nil
+}
+
+// Flush writes every still-buffered record in position order, skipping the
+// gaps a cancelled sweep leaves behind, so nothing recorded is lost. Call
+// once after the engine returns.
+func (o *Ordered) Flush() error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for ; o.next < len(o.buf); o.next++ {
+		if o.buf[o.next] == nil {
+			continue
+		}
+		if err := o.sink.Write(*o.buf[o.next]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

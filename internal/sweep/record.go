@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"bufio"
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -67,6 +68,12 @@ func (j Job) Fingerprint() string {
 	return hex.EncodeToString(sum[:8])
 }
 
+// NewRecord returns the dimension-filled record skeleton for j, status
+// unset — the starting point for any executor reporting on j. Exported for
+// external schedulers (the fabric coordinator quarantines a poison job by
+// filing a failure record it never got from a worker).
+func NewRecord(j Job) Record { return newRecord(j) }
+
 // newRecord fills the dimension fields shared by every outcome of j.
 func newRecord(j Job) Record {
 	return Record{
@@ -103,14 +110,61 @@ func NewJSONL(w io.Writer) *JSONL {
 }
 
 // OpenJSONL opens (appending, creating if needed) a JSONL results file.
+// A torn final line — a crash mid-write leaves a partial record with no
+// trailing newline — is truncated away first: appending after it would
+// otherwise glue the next record onto the partial one and corrupt both.
+// The dropped bytes never parsed as a record, so nothing recorded is lost;
+// the interrupted job simply re-runs.
 func OpenJSONL(path string) (*JSONL, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, err
+	}
+	if err := truncateTornTail(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("sweep: repairing torn tail of %s: %w", path, err)
 	}
 	s := NewJSONL(f)
 	s.c = f
 	return s, nil
+}
+
+// truncateTornTail removes a trailing partial line (bytes after the last
+// newline) from an open file, leaving complete files untouched.
+func truncateTornTail(f *os.File) error {
+	info, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	size := info.Size()
+	if size == 0 {
+		return nil
+	}
+	// Scan backwards from the end for the last newline, one block at a time;
+	// a torn record is at most one line so the first block almost always
+	// settles it.
+	const block = 64 << 10
+	end := size
+	for end > 0 {
+		start := end - block
+		if start < 0 {
+			start = 0
+		}
+		buf := make([]byte, end-start)
+		if _, err := f.ReadAt(buf, start); err != nil {
+			return err
+		}
+		if i := bytes.LastIndexByte(buf, '\n'); i >= 0 {
+			keep := start + int64(i) + 1
+			if keep == size {
+				return nil // file ends with a newline: nothing torn
+			}
+			return f.Truncate(keep)
+		}
+		end = start
+	}
+	// No newline anywhere: the whole file is one torn line.
+	return f.Truncate(0)
 }
 
 // Write appends one record and flushes it.
@@ -143,44 +197,73 @@ func (s *JSONL) Close() error {
 // ReadRecords parses a JSONL results stream. Blank lines are ignored; a
 // malformed line fails with its line number.
 func ReadRecords(r io.Reader) ([]Record, error) {
+	recs, _, err := readRecords(r, false)
+	return recs, err
+}
+
+// ReadRecordsTolerant parses like ReadRecords but tolerates a torn final
+// line — the partial record a crash mid-write leaves behind. A malformed
+// LAST line is skipped and described in the returned warning ("" when the
+// stream was clean); a malformed line anywhere else is still an error,
+// because mid-file corruption is never a crash artifact.
+func ReadRecordsTolerant(r io.Reader) ([]Record, string, error) {
+	return readRecords(r, true)
+}
+
+func readRecords(r io.Reader, tolerant bool) ([]Record, string, error) {
 	var out []Record
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
 	line := 0
+	badLine, badErr := 0, error(nil)
 	for sc.Scan() {
 		line++
 		text := strings.TrimSpace(sc.Text())
 		if text == "" {
 			continue
 		}
+		if badErr != nil {
+			// The malformed line was not the final one after all.
+			return nil, "", fmt.Errorf("sweep: results line %d: %w", badLine, badErr)
+		}
 		var rec Record
 		if err := json.Unmarshal([]byte(text), &rec); err != nil {
-			return nil, fmt.Errorf("sweep: results line %d: %w", line, err)
+			if !tolerant {
+				return nil, "", fmt.Errorf("sweep: results line %d: %w", line, err)
+			}
+			badLine, badErr = line, err
+			continue
 		}
 		out = append(out, rec)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, "", err
 	}
-	return out, nil
+	warning := ""
+	if badErr != nil {
+		warning = fmt.Sprintf("skipped torn final line %d (crash mid-write?): %v", badLine, badErr)
+	}
+	return out, warning, nil
 }
 
 // CompletedFingerprints returns the fingerprints of every StatusOK record
 // in the results file at path — the set a resumed sweep skips. Failed jobs
 // are deliberately not included: a re-run retries them. A missing file is
 // an empty set, so resume against a fresh output path just runs everything.
-func CompletedFingerprints(path string) (map[string]bool, error) {
+// A torn final line (crash mid-write) is skipped — its job re-runs — and
+// reported in the warning instead of failing the resume.
+func CompletedFingerprints(path string) (map[string]bool, string, error) {
 	f, err := os.Open(path)
 	if os.IsNotExist(err) {
-		return map[string]bool{}, nil
+		return map[string]bool{}, "", nil
 	}
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	defer f.Close()
-	recs, err := ReadRecords(f)
+	recs, warning, err := ReadRecordsTolerant(f)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	done := make(map[string]bool, len(recs))
 	for _, r := range recs {
@@ -188,5 +271,5 @@ func CompletedFingerprints(path string) (map[string]bool, error) {
 			done[r.Fingerprint] = true
 		}
 	}
-	return done, nil
+	return done, warning, nil
 }

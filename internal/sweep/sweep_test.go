@@ -314,9 +314,12 @@ func TestRunResumeSkipsCompleted(t *testing.T) {
 	}
 
 	// Pass 2: resume must re-run only the failed job.
-	done, err := CompletedFingerprints(path)
+	done, warning, err := CompletedFingerprints(path)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if warning != "" {
+		t.Fatalf("clean file produced warning %q", warning)
 	}
 	if len(done) != len(jobs)-1 {
 		t.Fatalf("completed set = %d, want %d (failed job excluded)", len(done), len(jobs)-1)
@@ -348,7 +351,7 @@ func TestRunResumeSkipsCompleted(t *testing.T) {
 		t.Fatalf("resume summary wrong: %v", s)
 	}
 	// After the resumed pass every job is complete.
-	done, err = CompletedFingerprints(path)
+	done, _, err = CompletedFingerprints(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -358,12 +361,206 @@ func TestRunResumeSkipsCompleted(t *testing.T) {
 }
 
 func TestCompletedFingerprintsMissingFile(t *testing.T) {
-	done, err := CompletedFingerprints(filepath.Join(t.TempDir(), "nope.jsonl"))
+	done, _, err := CompletedFingerprints(filepath.Join(t.TempDir(), "nope.jsonl"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(done) != 0 {
 		t.Fatalf("missing file yields %d fingerprints", len(done))
+	}
+}
+
+// TestCompletedFingerprintsTornFinalLine: a crash mid-write leaves a
+// partial record on the last line; resume must skip it with a warning, and
+// a torn line anywhere else must still be an error.
+func TestCompletedFingerprintsTornFinalLine(t *testing.T) {
+	jobs, _, err := smallSpec().Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "out.jsonl")
+	sink, err := OpenJSONL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range jobs[:3] {
+		rec := newRecord(j)
+		rec.Status = StatusOK
+		if err := sink.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the file mid-record, the way a crash during Write does.
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := append(append([]byte{}, full...), []byte(`{"fingerprint":"dead","key":"torn`)...)
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	done, warning, err := CompletedFingerprints(path)
+	if err != nil {
+		t.Fatalf("torn final line failed resume: %v", err)
+	}
+	if warning == "" || !strings.Contains(warning, "torn final line") {
+		t.Fatalf("warning = %q, want torn-final-line diagnostic", warning)
+	}
+	if len(done) != 3 {
+		t.Fatalf("completed set = %d, want 3 (torn line skipped)", len(done))
+	}
+
+	// Strict reader still refuses the torn file.
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := ReadRecords(f); err == nil {
+		t.Fatal("strict ReadRecords accepted a torn file")
+	}
+
+	// A malformed line that is NOT final is corruption, not a crash
+	// artifact: the tolerant reader must reject it too.
+	bad := append(append([]byte(`{"broken`), '\n'), full...)
+	if err := os.WriteFile(path, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := CompletedFingerprints(path); err == nil {
+		t.Fatal("tolerant reader accepted mid-file corruption")
+	}
+
+	// Re-opening the torn file for append truncates the partial tail so
+	// the next record starts on a clean line.
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sink2, err := OpenJSONL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := newRecord(jobs[3])
+	rec.Status = StatusOK
+	if err := sink2.Write(rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f2, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	recs, err := ReadRecords(f2)
+	if err != nil {
+		t.Fatalf("appending after repair left a corrupt file: %v", err)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("%d records after repair+append, want 4", len(recs))
+	}
+}
+
+// TestOrderedSink: records written in scrambled completion order reach the
+// wrapped sink in expansion order, and Flush recovers cancellation gaps.
+func TestOrderedSink(t *testing.T) {
+	jobs, _, err := smallSpec().Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	ord := NewOrdered(NewJSONL(&buf), jobs)
+	// Write in reverse completion order: nothing may flush until job 0 lands.
+	for i := len(jobs) - 1; i >= 1; i-- {
+		rec := newRecord(jobs[i])
+		rec.Status = StatusOK
+		if err := ord.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("ordered sink flushed %d bytes before the first job finished", buf.Len())
+	}
+	first := newRecord(jobs[0])
+	first.Status = StatusOK
+	if err := ord.Write(first); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadRecords(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(jobs) {
+		t.Fatalf("%d records, want %d", len(recs), len(jobs))
+	}
+	for i, rec := range recs {
+		if rec.Fingerprint != jobs[i].Fingerprint() {
+			t.Fatalf("record %d is %s, want %s (expansion order)", i, rec.Key, jobs[i].Key)
+		}
+	}
+
+	// Gaps (a cancelled sweep) hold later records until Flush.
+	var buf2 bytes.Buffer
+	ord2 := NewOrdered(NewJSONL(&buf2), jobs)
+	for _, i := range []int{0, 2, 3} {
+		rec := newRecord(jobs[i])
+		rec.Status = StatusOK
+		if err := ord2.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs2, _ := ReadRecords(bytes.NewReader(buf2.Bytes()))
+	if len(recs2) != 1 {
+		t.Fatalf("flushed %d records past the gap, want 1", len(recs2))
+	}
+	if err := ord2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	recs2, err = ReadRecords(bytes.NewReader(buf2.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs2) != 3 {
+		t.Fatalf("after Flush %d records, want 3", len(recs2))
+	}
+	for i, want := range []int{0, 2, 3} {
+		if recs2[i].Fingerprint != jobs[want].Fingerprint() {
+			t.Fatalf("flushed record %d is %s, want %s", i, recs2[i].Key, jobs[want].Key)
+		}
+	}
+}
+
+// TestRunOrderedEndToEnd: the engine with an Ordered sink emits expansion
+// order no matter how many workers race.
+func TestRunOrderedEndToEnd(t *testing.T) {
+	jobs, _, err := smallSpec().Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	ord := NewOrdered(NewJSONL(&buf), jobs)
+	if _, err := Run(context.Background(), jobs, ord, Options{Workers: 8, Run: okRun}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ord.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadRecords(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(jobs) {
+		t.Fatalf("%d records, want %d", len(recs), len(jobs))
+	}
+	for i, rec := range recs {
+		if rec.Fingerprint != jobs[i].Fingerprint() {
+			t.Fatalf("record %d out of order: %s", i, rec.Key)
+		}
 	}
 }
 
