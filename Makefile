@@ -5,8 +5,8 @@ TELEMETRY_DEMO_OUT ?= telemetry-demo
 PROFILE_OUT ?= profiles
 FABRIC_ADDR ?= 127.0.0.1:9178
 FABRIC_TMP := $(shell mktemp -u /tmp/fabric-smoke.XXXXXX)
-BENCH_JSON ?= BENCH_PR6.json
-BENCH_BASELINE ?= BENCH_PR6.json
+BENCH_JSON ?= BENCH_PR9.json
+BENCH_BASELINE ?= BENCH_PR9.json
 BENCH_DIFF_JSON := $(shell mktemp -u /tmp/bench-diff.XXXXXX.json)
 OBS_DEMO_ADDR ?= 127.0.0.1:9177
 

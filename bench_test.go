@@ -400,6 +400,40 @@ func BenchmarkGPUCycleLarge(b *testing.B) {
 	}
 }
 
+// BenchmarkGPUCycleFastForward measures the idle-cycle fast-forward payoff
+// on a drain/warmup-heavy workload (long compute sleeps, no memory traffic,
+// the idleProfile the equivalence tests certify): one full warmup+measure
+// run per iteration, with -fastforward off vs on. Results are bit-identical
+// (equivalence_test.go); the off/on ratio is the measured win.
+func BenchmarkGPUCycleFastForward(b *testing.B) {
+	for _, ff := range []bool{false, true} {
+		name := "off"
+		if ff {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := config.Default()
+			cfg.WarmupCycles = 1000
+			cfg.MeasureCycles = 10000
+			cfg.FastForward = ff
+			prof := idleProfile()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sim, err := gpu.New(cfg, prof)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := sim.RunContext(context.Background()); err != nil {
+					b.Fatal(err)
+				}
+				if ff && sim.FastForwarded == 0 {
+					b.Fatal("fast-forward never engaged on the idle profile")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkGPUCycleTelemetry measures the same full-system cycle path with
 // the telemetry subsystem attached. Compared against BenchmarkGPUCycle it
 // bounds the instrumented overhead; the disabled path (no telemetry)

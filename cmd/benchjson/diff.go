@@ -99,6 +99,25 @@ func medians(rep Report) map[string]float64 {
 	return out
 }
 
+// EnvMismatch lists the ways two reports' machine contexts disagree.
+// Parallel-kernel benchmarks scale with available cores, so a diff across
+// CPU configurations is apples-to-oranges — worth a loud warning, but not a
+// hard failure (fields are also absent from artifacts predating them, and
+// absence on either side is not a mismatch).
+func EnvMismatch(baseline, new Report) []string {
+	var out []string
+	if baseline.CPU != "" && new.CPU != "" && baseline.CPU != new.CPU {
+		out = append(out, fmt.Sprintf("cpu differs: baseline %q, new %q", baseline.CPU, new.CPU))
+	}
+	if baseline.GOMAXPROCS != 0 && new.GOMAXPROCS != 0 && baseline.GOMAXPROCS != new.GOMAXPROCS {
+		out = append(out, fmt.Sprintf("GOMAXPROCS differs: baseline %d, new %d (parallel-kernel numbers are not comparable)", baseline.GOMAXPROCS, new.GOMAXPROCS))
+	}
+	if baseline.NumCPU != 0 && new.NumCPU != 0 && baseline.NumCPU != new.NumCPU {
+		out = append(out, fmt.Sprintf("NumCPU differs: baseline %d, new %d (parallel-kernel numbers are not comparable)", baseline.NumCPU, new.NumCPU))
+	}
+	return out
+}
+
 // AnyRegressed reports whether the diff found a regression or a vanished
 // benchmark — the conditions -fail-on-regress turns into a non-zero exit.
 func AnyRegressed(rows []DiffRow) bool {
@@ -132,7 +151,7 @@ func WriteDiff(w io.Writer, rows []DiffRow, threshold float64) {
 // runDiff is the `benchjson diff` entry point.
 func runDiff(args []string) {
 	fs := flag.NewFlagSet("benchjson diff", flag.ExitOnError)
-	baseFile := fs.String("baseline", "BENCH_PR4.json", "committed baseline bench JSON")
+	baseFile := fs.String("baseline", "BENCH_PR9.json", "committed baseline bench JSON")
 	newFile := fs.String("new", "", "new bench JSON to compare (required)")
 	threshold := fs.Float64("threshold", 0.05, "relative noise threshold on median ns/op")
 	failOn := fs.Bool("fail-on-regress", false, "exit non-zero on a regression or a missing benchmark")
@@ -154,6 +173,10 @@ func runDiff(args []string) {
 	current, err := readReport(*newFile)
 	if err != nil {
 		fatal(err)
+	}
+
+	for _, w := range EnvMismatch(baseline, current) {
+		fmt.Fprintln(os.Stderr, "benchjson diff: warning:", w)
 	}
 
 	rows := Diff(baseline, current, *threshold)

@@ -103,6 +103,34 @@ func TestDiffSkipsBenchmarksWithoutNsOp(t *testing.T) {
 	}
 }
 
+func TestEnvMismatch(t *testing.T) {
+	a := Report{CPU: "AMD EPYC 7B13", GOMAXPROCS: 8, NumCPU: 8}
+	if w := EnvMismatch(a, a); len(w) != 0 {
+		t.Fatalf("identical environments warned: %v", w)
+	}
+	// All three fields differ: three warnings, each naming both sides.
+	b := Report{CPU: "Intel Xeon", GOMAXPROCS: 1, NumCPU: 2}
+	w := EnvMismatch(a, b)
+	if len(w) != 3 {
+		t.Fatalf("got %d warnings, want 3: %v", len(w), w)
+	}
+	for _, want := range []string{"cpu differs", "GOMAXPROCS differs", "NumCPU differs"} {
+		found := false
+		for _, msg := range w {
+			if strings.Contains(msg, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no warning mentions %q: %v", want, w)
+		}
+	}
+	// Pre-PR9 artifacts lack the fields; absence is not a mismatch.
+	if w := EnvMismatch(Report{}, a); len(w) != 0 {
+		t.Fatalf("legacy baseline without env fields warned: %v", w)
+	}
+}
+
 func TestWriteDiffTable(t *testing.T) {
 	rows := Diff(report(bench("BenchmarkA-8", 100)),
 		report(bench("BenchmarkA-8", 120)), 0.05)

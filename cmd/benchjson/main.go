@@ -25,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -49,12 +50,17 @@ type Benchmark struct {
 
 // Report is the whole artifact. Context lines (goos/goarch/pkg/cpu) are
 // carried through so a diff that spans machines is visibly apples-to-
-// oranges.
+// oranges. GOMAXPROCS and NumCPU are stamped from the converting process —
+// which runs on the same machine as the benchmark — because parallel-kernel
+// numbers (-workers) measured with one core are not comparable to numbers
+// measured with many.
 type Report struct {
 	Goos       string      `json:"goos,omitempty"`
 	Goarch     string      `json:"goarch,omitempty"`
 	Pkg        string      `json:"pkg,omitempty"`
 	CPU        string      `json:"cpu,omitempty"`
+	GOMAXPROCS int         `json:"gomaxprocs,omitempty"`
+	NumCPU     int         `json:"numcpu,omitempty"`
 	Benchmarks []Benchmark `json:"benchmarks"`
 }
 
@@ -83,6 +89,8 @@ func main() {
 	if len(rep.Benchmarks) == 0 {
 		fatal(fmt.Errorf("benchjson: no benchmark lines in input"))
 	}
+	rep.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	rep.NumCPU = runtime.NumCPU()
 
 	w := os.Stdout
 	if *out != "" {

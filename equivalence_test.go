@@ -21,13 +21,29 @@ import (
 	"context"
 	"fmt"
 	"reflect"
+	"runtime"
 	"testing"
 
 	"gpgpunoc/internal/config"
 	"gpgpunoc/internal/core"
 	"gpgpunoc/internal/experiments"
 	"gpgpunoc/internal/gpu"
+	"gpgpunoc/internal/workload"
 )
+
+// forcePool keeps the multi-worker comparisons honest on a one-core
+// machine: networks built on a single-P runtime step their lanes inline
+// (bit-identical, see noc.Network's poolOK), which would quietly remove
+// the worker pool — and everything the race detector learns from it —
+// from this suite. Bumping GOMAXPROCS before construction restores the
+// real concurrent kernel; results cannot depend on it.
+func forcePool(t testing.TB) {
+	if runtime.GOMAXPROCS(0) > 1 {
+		return
+	}
+	old := runtime.GOMAXPROCS(2)
+	t.Cleanup(func() { runtime.GOMAXPROCS(old) })
+}
 
 // equivCfg is a reduced-scale configuration: long enough that traffic
 // saturates the MC rows and backpressure (the active set's hard case)
@@ -44,6 +60,9 @@ func equivCfg() config.Config {
 // count (0 keeps cfg's).
 func runOne(t *testing.T, cfg config.Config, bench string, workers int) gpu.Result {
 	t.Helper()
+	if workers > 1 {
+		forcePool(t)
+	}
 	res, err := gpu.Run(context.Background(), cfg, bench, gpu.RunOptions{
 		SanitizeEvery:  256,
 		TelemetryEpoch: 400,
@@ -199,6 +218,154 @@ func TestFigureTableEquivalence(t *testing.T) {
 	if optSweep.String() != refSweep.String() {
 		t.Errorf("Sweep table diverged between kernels:\nactive-set:\n%s\nreference:\n%s", optSweep, refSweep)
 	}
+}
+
+// idleProfile is a pure-compute workload with long deterministic sleeps:
+// every warp issues one 600-cycle op per wakeup and the system generates no
+// memory traffic at all, so the fabric stays empty and most cycles are
+// globally idle — the case fast-forward exists for.
+func idleProfile() workload.Profile {
+	return workload.Profile{
+		Name: "IDLE", Suite: "synthetic",
+		Locality: 0.5, FootprintBytes: 256 << 10,
+		RunAhead: 4, LongOpFraction: 1, LongOpLatency: 600,
+	}
+}
+
+// trickleProfile sleeps like idleProfile but issues occasional loads, so
+// idle spans interleave with real NoC/MC/DRAM activity — the case that
+// exercises the service-token and stall compensation at span edges.
+func trickleProfile() workload.Profile {
+	return workload.Profile{
+		Name: "TRICKLE", Suite: "synthetic",
+		MemFraction: 0.03, Locality: 0.6, FootprintBytes: 1 << 20,
+		RunAhead: 2, LongOpFraction: 1, LongOpLatency: 900,
+	}
+}
+
+// runProfile runs an unregistered profile on a full instrumented simulator
+// (telemetry every 400 cycles, sanitizer every 256) and returns the result
+// plus the cycles fast-forward skipped.
+func runProfile(t *testing.T, cfg config.Config, prof workload.Profile, workers int, ff bool) (gpu.Result, int64) {
+	t.Helper()
+	c := cfg
+	if ff {
+		c.FastForward = true
+	}
+	if workers > 0 {
+		c.NoC.Workers = workers
+	}
+	if c.NoC.Workers > 1 {
+		forcePool(t)
+	}
+	sim, err := gpu.NewInstrumented(c, prof, gpu.Instrumentation{TelemetryEpoch: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Close()
+	sim.SanitizeEvery = 256
+	res, err := sim.RunContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, sim.FastForwarded
+}
+
+// TestStepperEquivalenceFastForward covers the full Figure 9 design space,
+// three seeds each, with idle-cycle fast-forward on vs off: IPC, stats, and
+// telemetry bytes must be identical whether idle cycles are stepped or
+// skipped.
+func TestStepperEquivalenceFastForward(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed design-space sweep")
+	}
+	for _, s := range experiments.Fig9Schemes() {
+		for _, seed := range []uint64{1, 7, 1234577} {
+			t.Run(fmt.Sprintf("%s/seed=%d", s.Label, seed), func(t *testing.T) {
+				t.Parallel()
+				cfg := s.Apply(equivCfg())
+				cfg.Seed = seed
+				base := runOne(t, cfg, "KMN", 0)
+				ffCfg := cfg
+				ffCfg.FastForward = true
+				compareResults(t, runOne(t, ffCfg, "KMN", 0), base)
+			})
+		}
+	}
+}
+
+// TestStepperEquivalenceFastForwardIdle pins fast-forward on workloads that
+// actually trigger it: a pure-compute profile (fabric always empty; the
+// skip must cover most of the run) and a trickle profile whose idle spans
+// border real memory traffic (exercising the span-edge compensation). Both
+// must match the stepped run and the reference stepper bit-for-bit, serial
+// and parallel.
+func TestStepperEquivalenceFastForwardIdle(t *testing.T) {
+	cfg := equivCfg()
+	for _, prof := range []workload.Profile{idleProfile(), trickleProfile()} {
+		t.Run(prof.Name, func(t *testing.T) {
+			t.Parallel()
+			base, _ := runProfile(t, cfg, prof, 1, false)
+			ff, skipped := runProfile(t, cfg, prof, 1, true)
+			t.Logf("%s: fast-forwarded %d of %d cycles", prof.Name, skipped,
+				cfg.WarmupCycles+cfg.MeasureCycles)
+			if skipped == 0 {
+				t.Fatalf("%s never fast-forwarded", prof.Name)
+			}
+			compareResults(t, ff, base)
+
+			rcfg := cfg
+			rcfg.NoC.ReferenceStepper = true
+			ref, _ := runProfile(t, rcfg, prof, 1, false)
+			compareResults(t, ff, ref)
+
+			pff, _ := runProfile(t, cfg, prof, 4, true)
+			compareResults(t, pff, base)
+		})
+	}
+}
+
+// TestStepperEquivalenceRebalance pins load-adaptive lane retiling as a
+// pure performance knob: with retiling every 64 cycles the run must be
+// bit-identical across workers ∈ {1, 2, 4, 8} and to the un-retiled serial
+// kernel.
+func TestStepperEquivalenceRebalance(t *testing.T) {
+	cfg := equivCfg()
+	cfg.NoC.RebalanceEpoch = 64
+	base := runOne(t, cfg, "KMN", 1)
+	for _, w := range []int{2, 4, 8} {
+		compareResults(t, runOne(t, cfg, "KMN", w), base)
+	}
+	plain := equivCfg()
+	compareResults(t, base, runOne(t, plain, "KMN", 1))
+}
+
+// TestStepperEquivalenceSoak exercises rebalancing and fast-forward
+// together on the workers=4 kernel over a longer run — under -race in CI,
+// this is the soak that lets the detector watch retiled lanes and barrier
+// generations interleave for real — and requires bit-identity with the
+// plain serial run.
+func TestStepperEquivalenceSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long soak")
+	}
+	cfg := equivCfg()
+	cfg.WarmupCycles = 800
+	cfg.MeasureCycles = 4000
+	soak := cfg
+	soak.FastForward = true
+	soak.NoC.RebalanceEpoch = 96
+
+	base := runOne(t, cfg, "KMN", 1)
+	compareResults(t, runOne(t, soak, "KMN", 4), base)
+
+	prof := idleProfile()
+	pbase, _ := runProfile(t, cfg, prof, 1, false)
+	sres, skipped := runProfile(t, soak, prof, 4, true)
+	if skipped == 0 {
+		t.Fatal("soak never fast-forwarded")
+	}
+	compareResults(t, sres, pbase)
 }
 
 // TestReferenceStepperFlagPlumbing ensures the -reference-stepper override

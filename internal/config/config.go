@@ -89,6 +89,11 @@ type NoC struct {
 	// order at each cycle boundary); the kernel clamps the count to the
 	// mesh height, since domains are contiguous row stripes.
 	Workers int
+	// RebalanceEpoch, when positive, retiles the parallel kernel's lane
+	// stripes from per-row load every RebalanceEpoch cycles. Results are
+	// bit-identical for every value — partitioning cannot affect output —
+	// so this is a pure performance knob. 0 disables retiling.
+	RebalanceEpoch int64
 }
 
 // Mem is the memory-system configuration.
@@ -140,6 +145,13 @@ type Config struct {
 	// design wedge). It travels with the configuration so every entry
 	// point — CLIs, sweep jobs, JSON files — shares one escape hatch.
 	AllowUnsafe bool
+
+	// FastForward lets the simulator jump over globally idle cycles (no
+	// flits in flight, no core or memory-controller events pending) to the
+	// next event horizon instead of stepping them one by one. Results,
+	// telemetry, and statistics are bit-identical to stepping; only wall
+	// time changes.
+	FastForward bool
 }
 
 // Default returns the Table 2 baseline configuration: 56 SMs + 8 MCs on an
@@ -223,6 +235,8 @@ func (c Config) Validate() error {
 		return errors.New("config: need injection bandwidth >= 1 flit/cycle")
 	case n.Workers < 0:
 		return errors.New("config: workers must be >= 0 (0 = GOMAXPROCS, 1 = serial kernel)")
+	case n.RebalanceEpoch < 0:
+		return errors.New("config: rebalance epoch must be >= 0 (0 disables lane retiling)")
 	}
 	switch n.Routing {
 	case RoutingXY, RoutingYX, RoutingXYYX:
@@ -288,6 +302,10 @@ func (c Config) Warnings() []string {
 		out = append(out, fmt.Sprintf(
 			"config: %d workers exceed the mesh's %d routers; the kernel clamps domains to %d row stripes",
 			c.NoC.Workers, routers, c.NoC.Height))
+	} else if c.NoC.Workers > c.NoC.Height {
+		out = append(out, fmt.Sprintf(
+			"config: %d workers exceed the mesh's %d rows; domains are row stripes, so the kernel clamps to %d",
+			c.NoC.Workers, c.NoC.Height, c.NoC.Height))
 	}
 	return out
 }

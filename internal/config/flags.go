@@ -22,6 +22,8 @@ type Overrides struct {
 	SubnetHalfWidth      *bool
 	ReferenceStepper     *bool
 	Workers              *int
+	RebalanceEpoch       *int64
+	FastForward          *bool
 	WarmupCycles         *int
 	MeasureCycles        *int
 	Seed                 *uint64
@@ -60,6 +62,12 @@ func (o Overrides) Apply(base Config) Config {
 	if o.Workers != nil {
 		base.NoC.Workers = *o.Workers
 	}
+	if o.RebalanceEpoch != nil {
+		base.NoC.RebalanceEpoch = *o.RebalanceEpoch
+	}
+	if o.FastForward != nil {
+		base.FastForward = *o.FastForward
+	}
 	if o.WarmupCycles != nil {
 		base.WarmupCycles = *o.WarmupCycles
 	}
@@ -95,6 +103,8 @@ type Flags struct {
 	halfwidth bool
 	refstep   bool
 	workers   int
+	rebalance int64
+	fastfwd   bool
 	unsafe    bool
 }
 
@@ -118,6 +128,8 @@ func BindFlags(fs *flag.FlagSet) *Flags {
 	fs.BoolVar(&f.halfwidth, "halfwidth", false, "with -dual, give each subnet half-width channels (equal wire budget)")
 	fs.BoolVar(&f.refstep, "reference-stepper", false, "use the naive full-scan cycle kernel (bit-identical, slower; for equivalence testing)")
 	fs.IntVar(&f.workers, "workers", d.NoC.Workers, "parallel cycle-kernel domains (0 = GOMAXPROCS, 1 = serial; results are bit-identical)")
+	fs.Int64Var(&f.rebalance, "rebalance-epoch", d.NoC.RebalanceEpoch, "retile kernel lanes from per-row load every N cycles (0 = off; results are bit-identical)")
+	fs.BoolVar(&f.fastfwd, "fastforward", d.FastForward, "jump over globally idle cycles to the next event horizon (results are bit-identical)")
 	fs.BoolVar(&f.unsafe, "allow-unsafe", false, "accept configurations the protocol-deadlock analysis rejects")
 	return f
 }
@@ -160,6 +172,10 @@ func (f *Flags) Overrides() Overrides {
 			o.ReferenceStepper = &f.refstep
 		case "workers":
 			o.Workers = &f.workers
+		case "rebalance-epoch":
+			o.RebalanceEpoch = &f.rebalance
+		case "fastforward":
+			o.FastForward = &f.fastfwd
 		case "allow-unsafe":
 			o.AllowUnsafe = &f.unsafe
 		}

@@ -16,6 +16,7 @@ package dram
 
 import (
 	"fmt"
+	"math"
 
 	"gpgpunoc/internal/telemetry"
 )
@@ -203,6 +204,41 @@ func (d *DRAM) Tick(now int64) {
 		b.busyTill = now + occ
 		d.inflight = append(d.inflight, inflight{id: rq.id, readyAt: now + lat})
 	}
+}
+
+// NextEvent returns the earliest cycle at or after now at which Tick could
+// do any work: now itself when completions wait to be drained or a request
+// could issue, otherwise the earliest in-flight completion or bank release
+// that would unblock the scheduler, or math.MaxInt64 for an empty channel.
+// Ticks strictly before the returned cycle are no-ops, which is what lets
+// the simulator fast-forward over them.
+func (d *DRAM) NextEvent(now int64) int64 {
+	if len(d.done) > 0 || d.pick(now) >= 0 {
+		return now
+	}
+	h := int64(math.MaxInt64)
+	for _, f := range d.inflight {
+		if f.readyAt < h {
+			h = f.readyAt
+		}
+	}
+	if len(d.queue) > 0 {
+		// pick returned -1, so every bank that could admit a queued request
+		// is busy; the earliest relevant release is the next issue chance.
+		// FCFS only ever considers the head request's bank.
+		if !d.p.FRFCFS {
+			if b := d.banks[d.queue[0].bank].busyTill; b < h {
+				h = b
+			}
+		} else {
+			for _, rq := range d.queue {
+				if b := d.banks[rq.bank].busyTill; b < h {
+					h = b
+				}
+			}
+		}
+	}
+	return h
 }
 
 // Completed drains and returns the ids finished since the last call, in

@@ -7,6 +7,7 @@ package gpu
 import (
 	"context"
 	"fmt"
+	"math"
 
 	"gpgpunoc/internal/config"
 	"gpgpunoc/internal/core"
@@ -57,6 +58,11 @@ type Simulator struct {
 
 	SMs []*smcore.SM
 	MCs []*mc.MC
+
+	// FastForwarded counts the cycles the run loop jumped over instead of
+	// stepping (Cfg.FastForward); results are unaffected, so this exists
+	// for reporting and tests.
+	FastForwarded int64
 
 	// gpu holds the core-side counters, written only from the stepping
 	// goroutine (SM Tick and fetch paths). MC sinks run on kernel worker
@@ -319,6 +325,74 @@ func (s *Simulator) Step() {
 	}
 }
 
+// fastForward jumps over globally idle cycles: when no flits are anywhere
+// in the fabric and every SM and MC reports its next event strictly in the
+// future, every intervening Step would be a no-op apart from three exactly
+// compensable per-cycle effects — the SMs' stall counters (bulk-added), the
+// MCs' service-token refresh (recomputed over the span), and telemetry
+// epoch sampling. The jump advances in chunks that land exactly on each
+// telemetry epoch boundary, applying compensation before sampling, so
+// every epoch inside the span flushes with the same cycle stamp and the
+// same probe readings a stepped run would record — byte-identical series.
+// Skips at most maxSkip cycles and returns the number skipped (0 when the
+// system is not idle).
+func (s *Simulator) fastForward(maxSkip int64) int64 {
+	if maxSkip <= 0 || s.Net.FlitsInFlight() != 0 {
+		return 0
+	}
+	h := int64(math.MaxInt64)
+	for _, sm := range s.SMs {
+		e := sm.NextEvent(s.cycle)
+		if e <= s.cycle {
+			return 0
+		}
+		if e < h {
+			h = e
+		}
+	}
+	for _, m := range s.MCs {
+		e := m.NextEvent(s.cycle)
+		if e <= s.cycle {
+			return 0
+		}
+		if e < h {
+			h = e
+		}
+	}
+	if limit := s.cycle + maxSkip; h > limit {
+		h = limit
+	}
+	start := s.cycle
+	for s.cycle < h {
+		to := h
+		if s.Tel != nil {
+			if b := (s.cycle/s.Tel.EpochLen + 1) * s.Tel.EpochLen; b < to {
+				to = b
+			}
+		}
+		delta := to - s.cycle
+		for _, sm := range s.SMs {
+			sm.FastForward(delta)
+		}
+		for _, m := range s.MCs {
+			m.FastForward(s.cycle, to-1)
+		}
+		s.Net.FastForward(delta)
+		s.cycle = to
+		if s.Tel != nil {
+			s.Tel.MaybeSample(s.cycle)
+		}
+	}
+	// One live snapshot per crossed publication boundary would only repeat
+	// identical idle state; publish once at the landing cycle instead so
+	// /progress keeps moving.
+	if s.Pub != nil && s.cycle/s.Pub.Every > start/s.Pub.Every {
+		s.Pub.Publish(s.cycle, false)
+	}
+	s.FastForwarded += s.cycle - start
+	return s.cycle - start
+}
+
 // Result summarizes one run.
 type Result struct {
 	Benchmark  string
@@ -358,12 +432,19 @@ func (s *Simulator) Run() Result {
 // goroutine until it finishes on its own.
 func (s *Simulator) RunContext(ctx context.Context) (Result, error) {
 	const watchdogWindow = 2048
+	ff := s.Cfg.FastForward
 
 	s.Net.EnableStats(false)
 	for i := 0; i < s.Cfg.WarmupCycles; i++ {
 		s.Step()
 		if err := s.sanitize(); err != nil {
 			return s.result(false, int64(i)), err
+		}
+		if ff {
+			// Cap each jump at the next watchdog/cancellation checkpoint
+			// (i ≡ 511 mod 512) and at the phase end, so the checks below
+			// run at exactly the loop indices a stepped run would check.
+			i += int(s.fastForward(min(int64((i|511)-i), int64(s.Cfg.WarmupCycles-1-i))))
 		}
 		if i%512 == 511 {
 			if err := ctx.Err(); err != nil {
@@ -381,6 +462,9 @@ func (s *Simulator) RunContext(ctx context.Context) (Result, error) {
 		s.Step()
 		if err := s.sanitize(); err != nil {
 			return s.result(false, int64(i)), err
+		}
+		if ff {
+			i += int(s.fastForward(min(int64((i|511)-i), int64(s.Cfg.MeasureCycles-1-i))))
 		}
 		if i%512 == 511 {
 			if err := ctx.Err(); err != nil {
@@ -473,6 +557,11 @@ type RunOptions struct {
 	// Instrumentation.
 	Spans    bool
 	SpanRate float64
+
+	// FastForward turns on idle-cycle skipping (see Config.FastForward);
+	// it never turns a configured-on value off. Results are bit-identical
+	// either way.
+	FastForward bool
 }
 
 // Run is the one-call runner: build a simulator for cfg and the named
@@ -487,6 +576,9 @@ func Run(ctx context.Context, cfg config.Config, benchmark string, opts RunOptio
 	}
 	if opts.Workers > 0 {
 		cfg.NoC.Workers = opts.Workers
+	}
+	if opts.FastForward {
+		cfg.FastForward = true
 	}
 	sim, err := NewInstrumented(cfg, prof, Instrumentation{
 		TelemetryEpoch: opts.TelemetryEpoch,

@@ -63,6 +63,46 @@ func amortized(dst []byte) []byte {
 	return dst
 }
 
+// spinWait mirrors the parallel kernel's barrier wait: a pure load/yield
+// spin loop must stay allocation-free end to end, including the park path's
+// condition check — only the diagnostic on failure may allocate, and it
+// lives in a panic subtree.
+//
+//noclint:hotpath root: fixture spin-wait barrier
+func spinWait(gen *uint64, want uint64, yield func()) {
+	for i := 0; i < 128; i++ {
+		if *gen >= want {
+			return
+		}
+	}
+	for *gen < want {
+		yield()
+	}
+	if *gen > want+1 {
+		panic(fmt.Sprintf("hotpathfix: barrier overrun gen=%d", *gen)) // cold path: exempt
+	}
+}
+
+// retile mirrors the lane-rebalance epoch path: gathering members into a
+// scratch slice that keeps its capacity across epochs is the sanctioned
+// amortized pattern, while building a fresh map per epoch is not.
+//
+//noclint:hotpath root: fixture epoch retile
+func retile(scratch []int32, lanes [][]int32, owner []uint8) []int32 {
+	act := scratch[:0]
+	for _, ln := range lanes {
+		for _, id := range ln {
+			act = append(act, id) //noclint:hotpath amortized: scratch keeps capacity across epochs
+		}
+	}
+	seen := map[int32]bool{} // want "map literal allocates"
+	for _, id := range act {
+		seen[id] = true
+		owner[id] = 0
+	}
+	return act[:0]
+}
+
 // cold is neither annotated nor reachable from a root: allocations are fine.
 func cold() []int {
 	return []int{1, 2, 3}

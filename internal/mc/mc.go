@@ -226,6 +226,37 @@ func (m *MC) makeReply(req *packet.Packet, now int64) *packet.Packet {
 	return rep
 }
 
+// NextEvent returns the earliest cycle at or after now at which Tick could
+// do observable work: now itself when replies wait to inject or DRAM
+// enqueues wait to retry, otherwise the earliest L2 or DRAM completion, or
+// math.MaxInt64 for an idle controller. Ticks strictly before the returned
+// cycle change nothing except the service-token refresh, which FastForward
+// compensates — together they make skipping exact.
+func (m *MC) NextEvent(now int64) int64 {
+	if len(m.outbox) > 0 || len(m.retryDRAM) > 0 {
+		return now
+	}
+	h := m.dram.NextEvent(now)
+	for _, pr := range m.inL2 {
+		if pr.readyAt < h {
+			h = pr.readyAt
+		}
+	}
+	return h
+}
+
+// FastForward applies the per-cycle effects of the skipped ticks at cycles
+// from..to inclusive (all of which NextEvent certified as no-ops): the only
+// such effect is the service-token refresh, which sets — not accumulates —
+// one token at every MCServicePeriod boundary. The token state after the
+// span therefore depends only on whether the span contained a boundary.
+func (m *MC) FastForward(from, to int64) {
+	p := int64(m.cfg.MCServicePeriod)
+	if p <= 1 || from <= 0 || to/p > (from-1)/p {
+		m.svcTokens = 1
+	}
+}
+
 // Tick advances the MC one NoC cycle.
 func (m *MC) Tick(now int64) {
 	// Service-bandwidth throttle: the MC issues at most one reply every

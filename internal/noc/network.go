@@ -105,6 +105,12 @@ type Interconnect interface {
 	// sizes. Callers must invoke it only at a cycle boundary (between
 	// Step calls) so the kernel is never read mid-phase.
 	StateSnapshot() obs.MeshState
+	// FastForward advances the cycle counter by delta without stepping.
+	// Callers must have established that the fabric is empty
+	// (FlitsInFlight() == 0): an empty fabric is a fixed point of Step,
+	// so skipping is observationally identical to stepping. Panics if
+	// flits are in flight.
+	FastForward(delta int64)
 	// Close stops the kernel's persistent worker pool, if one is running.
 	// The interconnect stays usable (a later parallel Step respawns the
 	// pool); call at a cycle boundary, typically deferred after
@@ -181,8 +187,22 @@ type Network struct {
 	injIn    []bool
 
 	// pool is the persistent worker pool stepping lanes 1..N-1; spawned
-	// lazily on the first parallel Step, stopped by Close.
-	pool *workerPool
+	// lazily on the first parallel Step, stopped by Close. poolOK records
+	// whether the runtime had more than one P when the lanes were built:
+	// on a single P the pool cannot overlap phases — it can only add
+	// scheduler round-trips — so Step runs the lanes inline instead
+	// (bit-identical by partition independence).
+	pool   *workerPool
+	poolOK bool
+
+	// rebalanceEvery, when positive with more than one lane, retiles the
+	// lane stripes from per-row load every rebalanceEvery cycles (see
+	// rebalance.go). The scratch slices below are preallocated so the
+	// retile itself is allocation-free in steady state.
+	rebalanceEvery int64
+	rowWeight      []int   // per-row load estimate, reused each retile
+	laneBounds     []int   // candidate row boundaries, len(lanes)+1
+	setScratch     []int32 // gathered active/inj IDs during redistribution
 
 	// routeTab caches the routing algorithm per (class, current, dest):
 	// NextHop is a pure function of those three, so RC becomes one array
@@ -271,6 +291,12 @@ func New(cfg config.NoC, alg routing.Algorithm, pol vc.Assigner, opts ...Option)
 		stats:      stats.NewNet(m),
 	}
 	n.buildLanes(cfg.Workers, cfg.Width, cfg.Height)
+	n.rebalanceEvery = cfg.RebalanceEpoch
+	if n.rebalanceEvery > 0 {
+		n.rowWeight = make([]int, cfg.Height)
+		n.laneBounds = make([]int, len(n.lanes)+1)
+		n.setScratch = make([]int32, 0, nn)
+	}
 	arena := newRouterArena(nn, n.vcs, n.depth)
 	for id := range n.routers {
 		rt := &n.routers[id]
@@ -363,6 +389,25 @@ func (n *Network) FlitsInFlight() int { return n.inFlight }
 // still in flight: the protocol-deadlock watchdog.
 func (n *Network) Quiescent(window int64) bool {
 	return n.inFlight > 0 && n.cycle-n.lastMove >= window
+}
+
+// FastForward advances the cycle counter by delta without stepping. An
+// empty fabric is a fixed point of Step — no injections, pipelines, link
+// traversals, or credit returns can occur, and finishCycle would only
+// advance the counter — so the jump is observationally identical to delta
+// empty Steps. lastMove is deliberately left alone: empty Steps would not
+// have moved anything either. Lane rebalancing epochs inside the span are
+// skipped; retiling is a pure performance knob with no observable effect
+// (see rebalance.go), so this cannot perturb results.
+func (n *Network) FastForward(delta int64) {
+	if delta <= 0 {
+		return
+	}
+	if n.inFlight != 0 {
+		panic("noc: FastForward with flits in flight")
+	}
+	n.cycle += delta
+	n.stats.Cycles = n.cycle
 }
 
 // activeCount sums the scheduled routers across lanes.
@@ -770,6 +815,10 @@ func (n *Network) finishCycle() {
 	}
 	n.cycle++
 	n.stats.Cycles = n.cycle
+
+	if n.rebalanceEvery > 0 && len(n.lanes) > 1 && n.cycle%n.rebalanceEvery == 0 {
+		n.rebalanceLanes()
+	}
 }
 
 // Step advances the network by one cycle: injection, router pipelines
@@ -780,19 +829,20 @@ func (n *Network) finishCycle() {
 // and statistics accumulate identically (see injectPhase / routerPhase in
 // parallel.go for the dense/sparse walk).
 //
-// With one lane this is the serial event-sparse kernel. With several lanes
-// and no tracer or span collector attached (both are externally supplied,
-// not thread-safe, and order-sensitive), the lanes run on the persistent
-// worker pool with a barrier between the compute phases and the link phase;
-// otherwise the lanes run inline in lane order, which produces the exact
-// global phase order of the classic kernel because lanes are contiguous
-// ascending ID ranges.
+// With one lane this is the serial event-sparse kernel. With several lanes,
+// more than one P available (poolOK), and no tracer or span collector
+// attached (both are externally supplied, not thread-safe, and
+// order-sensitive), the lanes run on the persistent worker pool with a
+// barrier between the compute phases and the link phase; otherwise the
+// lanes run inline in lane order, which produces the exact global phase
+// order of the classic kernel because lanes are contiguous ascending ID
+// ranges.
 func (n *Network) Step() {
 	if n.reference {
 		n.stepReference()
 		return
 	}
-	if len(n.lanes) > 1 && n.tracer == nil && n.spans == nil {
+	if len(n.lanes) > 1 && n.poolOK && n.tracer == nil && n.spans == nil {
 		n.stepParallel()
 		return
 	}
@@ -920,6 +970,35 @@ func (n *Network) CheckInvariants() error {
 	}
 	if count != n.inFlight {
 		return fmt.Errorf("noc: flit conservation broken: counted %d, tracked %d", count, n.inFlight)
+	}
+	// Lane-tiling invariant: the stripes must cover [0, numNodes) in
+	// ascending whole-row ranges, and laneOf must agree — a retile that
+	// broke this would corrupt wake routing.
+	prev := 0
+	for li := range n.lanes {
+		ln := &n.lanes[li]
+		if ln.lo != prev || ln.hi <= ln.lo || ln.lo%n.m.Width != 0 {
+			return fmt.Errorf("noc: lane %d covers [%d,%d), previous ended at %d", li, ln.lo, ln.hi, prev)
+		}
+		for id := ln.lo; id < ln.hi; id++ {
+			if int(n.laneOf[id]) != li {
+				return fmt.Errorf("noc: laneOf[%d] = %d, want %d", id, n.laneOf[id], li)
+			}
+		}
+		for _, id := range ln.active {
+			if int(id) < ln.lo || int(id) >= ln.hi {
+				return fmt.Errorf("noc: lane %d [%d,%d) schedules router %d it does not own", li, ln.lo, ln.hi, id)
+			}
+		}
+		for _, id := range ln.injActive {
+			if int(id) < ln.lo || int(id) >= ln.hi {
+				return fmt.Errorf("noc: lane %d [%d,%d) schedules injector %d it does not own", li, ln.lo, ln.hi, id)
+			}
+		}
+		prev = ln.hi
+	}
+	if prev != n.numNodes {
+		return fmt.Errorf("noc: lanes end at %d, want %d", prev, n.numNodes)
 	}
 	return nil
 }

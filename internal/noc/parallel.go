@@ -27,11 +27,33 @@ package noc
 // (sums, min/max, histogram buckets), so per-lane sharding plus an ordered
 // merge reproduces the serial totals exactly. Partition boundaries
 // therefore cannot affect results either, which is what makes Workers=0
-// (GOMAXPROCS-many lanes) safe to use in reproducible experiments.
+// (GOMAXPROCS-many lanes) safe to use in reproducible experiments — and
+// what lets rebalanceLanes retile the stripes mid-run (see rebalance.go)
+// without touching results.
+//
+// Happens-before argument for the barrier (workerPool): phase boundaries
+// are generation-counter barriers built from sync/atomic operations, which
+// the Go memory model gives sequentially consistent semantics. A release
+// is an atomic increment of gen; workers spin (or park) until they load the
+// new value, so every write the coordinator made before release() — the
+// serial tail of the previous cycle, including lane retiling — is visible
+// to every worker's phase. Symmetrically, a worker's arrive() is an atomic
+// increment of arrived, and the coordinator spins (or parks) in gather()
+// until arrived == workers, so every write a worker made during its phase
+// is visible to the coordinator (and, via the next release, to every other
+// worker's next phase). The park paths preserve this: a worker publishes
+// its intent with an atomic sleepers increment *before* re-checking gen
+// under the mutex, and the releaser checks sleepers *after* bumping gen, so
+// (by sequential consistency of the atomics) either the releaser sees the
+// sleeper and broadcasts under the same mutex, or the parker's re-check
+// sees the new gen and never blocks. The gather park path mirrors this
+// with gatherParked/arrived.
 
 import (
 	"runtime"
 	"slices"
+	"sync"
+	"sync/atomic"
 
 	"gpgpunoc/internal/packet"
 	"gpgpunoc/internal/stats"
@@ -113,6 +135,12 @@ func effectiveDomains(workers, height int) int {
 // lane ID ranges are contiguous and ascending.
 func (n *Network) buildLanes(workers, width, height int) {
 	d := effectiveDomains(workers, height)
+	// On a single P the worker pool cannot overlap phases; every barrier
+	// crossing is a scheduler round-trip with no parallel work to show for
+	// it. Step then runs the lanes inline in lane order, which is
+	// bit-identical by partition independence. Sampled once here: the
+	// answer cannot affect results, only which kernel produces them.
+	n.poolOK = runtime.GOMAXPROCS(0) > 1
 	n.lanes = make([]lane, d)
 	n.laneOf = make([]int32, n.numNodes)
 	for i := range n.lanes {
@@ -240,28 +268,51 @@ func (n *Network) foldStats() {
 	}
 }
 
+// Spin budgets for the barrier's fast paths. The phases between barriers
+// are a few microseconds of router work, so a released worker almost always
+// shows up within the pure-load spin; the Gosched band covers scheduler
+// jitter and oversubscribed machines; only a genuinely idle wait (e.g. the
+// stepping goroutine off doing non-NoC work between cycles) parks.
+const (
+	spinLoads  = 128 // pure atomic-load spins before yielding
+	spinYields = 256 // Gosched-interleaved spins before parking
+)
+
 // workerPool runs lanes 1..N-1 on persistent goroutines; lane 0 always runs
-// on the stepping goroutine. Channel handshakes provide the cycle-boundary
-// barriers (and, via Go's channel memory model, the happens-before edges
-// that publish one phase's writes to the next).
+// on the stepping goroutine. Phase boundaries are generation-counter
+// barriers: the coordinator bumps gen to release workers into a phase, and
+// workers count into arrived to hand the phase back. Both sides spin with a
+// bounded budget before parking on a cond, so a cycle's two barriers cost
+// two atomic RMWs per worker instead of four channel operations. See the
+// package comment for the happens-before argument.
 type workerPool struct {
-	start []chan struct{} // per worker: begin phase A
-	bGo   []chan struct{} // per worker: begin phase B
-	aDone chan struct{}   // one token per worker after phase A
-	bDone chan struct{}   // one token per worker after phase B
+	workers int // worker goroutines (lanes beyond lane 0)
+
+	gen     atomic.Uint64 // barrier generation; odd = phase A, even = phase B
+	arrived atomic.Int64  // workers that finished the current phase
+
+	// Worker park path: a worker that exhausts its spin budget registers
+	// in sleepers, then re-checks gen under mu before waiting on cond.
+	sleepers atomic.Int64
+	mu       sync.Mutex
+	cond     *sync.Cond
+
+	// Coordinator park path, mirroring the worker one for gather().
+	gatherParked atomic.Int64
+	gmu          sync.Mutex
+	gcond        *sync.Cond
+
+	stopping atomic.Bool
+	wg       sync.WaitGroup
 }
 
 func newWorkerPool(n *Network) *workerPool {
 	w := len(n.lanes) - 1
-	p := &workerPool{
-		start: make([]chan struct{}, w),
-		bGo:   make([]chan struct{}, w),
-		aDone: make(chan struct{}, w),
-		bDone: make(chan struct{}, w),
-	}
+	p := &workerPool{workers: w}
+	p.cond = sync.NewCond(&p.mu)
+	p.gcond = sync.NewCond(&p.gmu)
+	p.wg.Add(w)
 	for i := 0; i < w; i++ {
-		p.start[i] = make(chan struct{}, 1)
-		p.bGo[i] = make(chan struct{}, 1)
 		// Scheduling order across lane goroutines cannot affect results:
 		// phases touch disjoint or single-writer state and every
 		// cross-lane effect is merged in fixed lane order by finishCycle.
@@ -270,46 +321,124 @@ func newWorkerPool(n *Network) *workerPool {
 	return p
 }
 
+// release opens the next barrier generation, admitting every worker waiting
+// in await. The sleepers check runs after the gen bump (sequentially
+// consistent atomics), pairing with await's park path.
+func (p *workerPool) release() {
+	p.gen.Add(1)
+	if p.sleepers.Load() != 0 {
+		p.mu.Lock()
+		p.cond.Broadcast()
+		p.mu.Unlock()
+	}
+}
+
+// await blocks until generation g opens: a short pure-load spin, then a
+// Gosched-interleaved spin, then park. The sleepers increment is published
+// before the locked gen re-check, so a concurrent release either sees the
+// sleeper or the re-check sees the new gen.
+//
+//noclint:hotpath root: per-cycle barrier wait on the worker side
+func (p *workerPool) await(g uint64) {
+	for i := 0; i < spinLoads; i++ {
+		if p.gen.Load() >= g {
+			return
+		}
+	}
+	for i := 0; i < spinYields; i++ {
+		if p.gen.Load() >= g {
+			return
+		}
+		runtime.Gosched()
+	}
+	p.mu.Lock()
+	p.sleepers.Add(1)
+	for p.gen.Load() < g {
+		p.cond.Wait()
+	}
+	p.sleepers.Add(-1)
+	p.mu.Unlock()
+}
+
+// arrive counts this worker out of the current phase; the last one to
+// arrive wakes a parked coordinator.
+func (p *workerPool) arrive() {
+	if p.arrived.Add(1) == int64(p.workers) && p.gatherParked.Load() != 0 {
+		p.gmu.Lock()
+		p.gcond.Broadcast()
+		p.gmu.Unlock()
+	}
+}
+
+// gather blocks until every worker has arrived, then resets the count for
+// the next phase. The reset is safe without further synchronization:
+// workers do not touch arrived again until after the next release.
+//
+//noclint:hotpath root: per-cycle barrier wait on the coordinator side
+func (p *workerPool) gather() {
+	w := int64(p.workers)
+	if p.arrived.Load() != w {
+		spun := false
+		for i := 0; i < spinLoads && !spun; i++ {
+			spun = p.arrived.Load() == w
+		}
+		for i := 0; i < spinYields && !spun; i++ {
+			spun = p.arrived.Load() == w
+			runtime.Gosched()
+		}
+		if !spun {
+			p.gmu.Lock()
+			p.gatherParked.Add(1)
+			for p.arrived.Load() != w {
+				p.gcond.Wait()
+			}
+			p.gatherParked.Add(-1)
+			p.gmu.Unlock()
+		}
+	}
+	p.arrived.Store(0)
+}
+
 func (p *workerPool) worker(n *Network, li int) {
+	defer p.wg.Done()
 	ln := &n.lanes[li]
-	for range p.start[li-1] {
+	var g uint64
+	for {
+		g++
+		p.await(g) // phase A opens
+		if p.stopping.Load() {
+			return
+		}
 		n.phaseA(ln)
-		p.aDone <- struct{}{}
-		<-p.bGo[li-1]
+		p.arrive()
+		g++
+		p.await(g) // phase B opens
 		n.linkPhaseLane(ln)
-		p.bDone <- struct{}{}
+		p.arrive()
 	}
 }
 
 // stop terminates the worker goroutines. Must be called at a cycle
-// boundary, when every worker is parked on its start channel.
+// boundary, when every worker is waiting for the next phase-A release.
 func (p *workerPool) stop() {
-	for _, c := range p.start {
-		close(c)
-	}
+	p.stopping.Store(true)
+	p.release()
+	p.wg.Wait()
 }
 
-// stepParallel advances one cycle with the lanes on the worker pool: kick
-// every worker's phase A, run lane 0's phase A inline, barrier; same for
-// phase B; then the serial tail.
+// stepParallel advances one cycle with the lanes on the worker pool:
+// release phase A, run lane 0's share inline, gather; same for phase B;
+// then the serial tail.
 func (n *Network) stepParallel() {
 	if n.pool == nil {
 		n.pool = newWorkerPool(n)
 	}
 	p := n.pool
-	for _, c := range p.start {
-		c <- struct{}{}
-	}
+	p.release()
 	n.phaseA(&n.lanes[0])
-	for range p.start {
-		<-p.aDone
-	}
-	for _, c := range p.bGo {
-		c <- struct{}{}
-	}
+	p.gather()
+	p.release()
 	n.linkPhaseLane(&n.lanes[0])
-	for range p.bGo {
-		<-p.bDone
-	}
+	p.gather()
 	n.finishCycle()
 }

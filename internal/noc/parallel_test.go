@@ -1,6 +1,7 @@
 package noc
 
 import (
+	"runtime"
 	"testing"
 
 	"gpgpunoc/internal/config"
@@ -11,9 +12,25 @@ import (
 	"gpgpunoc/internal/vc"
 )
 
+// forcePool makes sure networks built after this call actually use the
+// worker pool: on a single-P runtime Step inlines the lanes (see poolOK),
+// which would quietly turn every concurrency test in this file into a
+// serial walk. Results are identical either way — this is about what the
+// race detector gets to see.
+func forcePool(t testing.TB) {
+	if runtime.GOMAXPROCS(0) > 1 {
+		return
+	}
+	old := runtime.GOMAXPROCS(2)
+	t.Cleanup(func() { runtime.GOMAXPROCS(old) })
+}
+
 // newWorkerNet builds a test network with an explicit kernel worker count.
 func newWorkerNet(t testing.TB, rt config.Routing, pol config.VCPolicy, workers int, opts ...Option) *Network {
 	t.Helper()
+	if workers != 1 {
+		forcePool(t)
+	}
 	cfg := config.Default().NoC
 	cfg.Routing = rt
 	cfg.VCPolicy = pol

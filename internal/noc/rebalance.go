@@ -1,0 +1,127 @@
+package noc
+
+// Load-adaptive lane retiling.
+//
+// Row stripes are a perfect partition for uniform traffic, but real
+// placements skew activity hard toward the MC edge (the telemetry demo
+// puts 71% of flits on MC-edge links under the bottom placement), leaving
+// some lanes nearly idle while one does most of the per-cycle work. Since
+// the kernel's output is provably independent of where the stripe
+// boundaries sit (see the package comment in parallel.go), the boundaries
+// are a pure performance knob — so the serial tail may move them mid-run
+// without any observable effect on results.
+//
+// Determinism: the retile decision reads only simulated state (the lanes'
+// active and injection sets) at a simulated-time boundary (every
+// rebalanceEvery-th cycle), never wall clock or scheduler state, so a run
+// retiles identically regardless of machine, worker interleaving, or
+// repetition. Different worker *counts* partition rows differently and so
+// may retile differently — which is fine, because partitioning cannot
+// affect results in the first place.
+
+// rebalanceLanes retiles the row-stripe boundaries so each lane carries a
+// near-equal share of the current load. Called from the serial tail at
+// epoch boundaries; the next barrier release publishes the new tiling to
+// the workers. The lanes slice itself never reallocates, so worker lane
+// pointers stay valid across retiles.
+//
+//noclint:hotpath root: epoch-boundary lane retile inside the serial tail
+func (n *Network) rebalanceLanes() {
+	width := n.m.Width
+	height := n.m.Height
+	d := len(n.lanes)
+
+	// Per-row load estimate from the state the kernel already maintains:
+	// active routers and injecting nodes, plus 1 so empty rows still carry
+	// weight (a lane must still sweep its rows' marks, and zero-weight rows
+	// would otherwise all pile onto one lane).
+	for r := 0; r < height; r++ {
+		n.rowWeight[r] = 1
+	}
+	total := height
+	for li := range n.lanes {
+		ln := &n.lanes[li]
+		for _, id := range ln.active {
+			n.rowWeight[int(id)/width]++
+		}
+		for _, id := range ln.injActive {
+			n.rowWeight[int(id)/width]++
+		}
+		total += len(ln.active) + len(ln.injActive)
+	}
+
+	// Greedy prefix targets: boundary i is the first row at which the
+	// prefix weight reaches total*i/d, clamped so every lane keeps at
+	// least one row. This is the same rule for every worker interleaving
+	// because it only reads the weights computed above.
+	n.laneBounds[0] = 0
+	n.laneBounds[d] = height
+	prefix := 0
+	row := 0
+	for i := 1; i < d; i++ {
+		target := total * i / d
+		for row < height && prefix < target {
+			prefix += n.rowWeight[row]
+			row++
+		}
+		b := row
+		if min := n.laneBounds[i-1] + 1; b < min {
+			b = min
+		}
+		if max := height - (d - i); b > max {
+			b = max
+		}
+		n.laneBounds[i] = b
+		if row < b {
+			for ; row < b; row++ {
+				prefix += n.rowWeight[row]
+			}
+		}
+	}
+
+	// Lanes tile [0, numNodes) contiguously and the outer boundaries are
+	// fixed, so comparing each lane's lo suffices.
+	changed := false
+	for i := 0; i < d; i++ {
+		if n.lanes[i].lo != n.laneBounds[i]*width {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		return
+	}
+
+	// Apply: gather every scheduled ID into scratch, reset the per-lane
+	// sets, move the boundaries, rebuild laneOf, and re-append each ID to
+	// its new owner. Membership marks (activeIn/injIn) describe the IDs,
+	// not the lanes, so they are untouched. Stats shards stay with their
+	// lanes — the ordered fold makes shard placement irrelevant.
+	act := n.setScratch[:0]
+	for li := range n.lanes {
+		act = append(act, n.lanes[li].active...) //noclint:hotpath amortized: setScratch keeps its backing array across retiles
+		n.lanes[li].active = n.lanes[li].active[:0]
+	}
+	split := len(act)
+	for li := range n.lanes {
+		act = append(act, n.lanes[li].injActive...) //noclint:hotpath amortized: setScratch keeps its backing array across retiles
+		n.lanes[li].injActive = n.lanes[li].injActive[:0]
+	}
+	for li := range n.lanes {
+		ln := &n.lanes[li]
+		ln.lo = n.laneBounds[li] * width
+		ln.hi = n.laneBounds[li+1] * width
+		for id := ln.lo; id < ln.hi; id++ {
+			n.laneOf[id] = int32(li)
+		}
+	}
+	for _, id := range act[:split] {
+		ln := &n.lanes[n.laneOf[id]]
+		ln.active = append(ln.active, id) //noclint:hotpath amortized: active keeps its backing array across retiles
+	}
+	for _, id := range act[split:] {
+		ln := &n.lanes[n.laneOf[id]]
+		ln.injActive = append(ln.injActive, id) //noclint:hotpath amortized: injActive keeps its backing array across retiles
+	}
+	n.setScratch = act[:0]
+}

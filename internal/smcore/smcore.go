@@ -13,6 +13,8 @@
 package smcore
 
 import (
+	"math"
+
 	"gpgpunoc/internal/cache"
 	"gpgpunoc/internal/config"
 	"gpgpunoc/internal/mesh"
@@ -222,6 +224,42 @@ func (s *SM) eligible(w *warp, now int64) bool {
 		return false // waiting on loads
 	}
 	return true
+}
+
+// NextEvent returns the earliest cycle at or after now at which Tick could
+// do work beyond counting a stall: now itself when the outbox has packets
+// to drain or any warp is eligible, otherwise the earliest readyAt among
+// warps that only need time to pass (not a fill or fetch return), or
+// math.MaxInt64 when every warp is blocked on in-flight memory. Ticks
+// strictly before the returned cycle only increment StallCycles, which
+// FastForward applies in bulk — together they make skipping exact.
+func (s *SM) NextEvent(now int64) int64 {
+	if len(s.outbox) > 0 {
+		return now
+	}
+	h := int64(math.MaxInt64)
+	for i := range s.warps {
+		w := &s.warps[i]
+		if w.fetchWait || w.outstanding >= s.prof.RunAhead {
+			continue // unblocked by a reply, not by time
+		}
+		if w.readyAt <= now {
+			return now // eligible: Tick would issue
+		}
+		if w.readyAt < h {
+			h = w.readyAt
+		}
+	}
+	return h
+}
+
+// FastForward applies the per-cycle effects of delta skipped ticks, all of
+// which NextEvent certified as issue-less: each would have counted one
+// stall cycle.
+func (s *SM) FastForward(delta int64) {
+	if s.gpu != nil {
+		s.gpu.StallCycles += delta
+	}
 }
 
 // Tick advances the SM one cycle, issuing at most one warp-instruction.
