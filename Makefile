@@ -52,15 +52,21 @@ smoke:
 # fabric-smoke proves the distributed sweep fabric end-to-end: a
 # single-process reference run (-ordered), then a coordinator with two
 # workers over the same spec — one worker killed mid-run so its lease
-# expires and its jobs are re-queued — and a byte-for-byte diff of the two
-# JSONL outputs. A final resubmit of the identical spec must be answered
-# entirely from the content-addressed store (0 pending jobs).
+# expires and its jobs are re-queued — and a canonical-form diff of the two
+# JSONL outputs (the exec footprint legitimately differs per mode; the
+# simulated results must not). The kill-one leg is also the fleet
+# observability probe: /metrics must show the lease expiry, the timeline
+# endpoint must answer, and the coordinator must leave a flight-recorder
+# dump. Finally the coordinator is killed and restarted on the same store
+# directory: resubmitting the identical spec must be answered entirely from
+# the content-addressed store (0 pending, store-hit series non-zero).
 fabric-smoke:
 	@mkdir -p $(FABRIC_TMP)
 	$(GO) build -o $(FABRIC_TMP)/sweep ./cmd/sweep
 	$(FABRIC_TMP)/sweep -spec examples/sweepspec_smoke.json -out $(FABRIC_TMP)/single.jsonl -ordered
 	@set -e; \
 	$(FABRIC_TMP)/sweep -serve $(FABRIC_ADDR) -store $(FABRIC_TMP)/store \
+		-flight-dir $(FABRIC_TMP)/flight \
 		-lease-jobs 1 -lease-ttl 3s -heartbeat 500ms & coord=$$!; \
 	w1=; w2=; trap 'kill $$coord $$w1 $$w2 2>/dev/null || true' EXIT; \
 	for i in $$(seq 1 100); do \
@@ -79,13 +85,36 @@ fabric-smoke:
 	curl -fsS http://$(FABRIC_ADDR)/sweeps/$$id | grep -q '"status":"done"' \
 		|| { echo "fabric-smoke: sweep never finished"; exit 1; }; \
 	curl -fsS http://$(FABRIC_ADDR)/sweeps/$$id/results > $(FABRIC_TMP)/fabric.jsonl; \
-	cmp $(FABRIC_TMP)/single.jsonl $(FABRIC_TMP)/fabric.jsonl \
+	sed -E 's/,"exec":\{[^}]*\}//' $(FABRIC_TMP)/single.jsonl > $(FABRIC_TMP)/single.canon.jsonl; \
+	sed -E 's/,"exec":\{[^}]*\}//' $(FABRIC_TMP)/fabric.jsonl > $(FABRIC_TMP)/fabric.canon.jsonl; \
+	cmp $(FABRIC_TMP)/single.canon.jsonl $(FABRIC_TMP)/fabric.canon.jsonl \
 		|| { echo "fabric-smoke: distributed output differs from single-process"; exit 1; }; \
-	echo "fabric output byte-identical to single-process ($$(wc -c < $(FABRIC_TMP)/fabric.jsonl) bytes)"; \
+	echo "fabric output canonically identical to single-process ($$(wc -c < $(FABRIC_TMP)/fabric.canon.jsonl) bytes)"; \
+	grep -q '"exec":{' $(FABRIC_TMP)/fabric.jsonl \
+		|| { echo "fabric-smoke: records carry no exec footprint"; exit 1; }; \
+	grep -q '"worker":"w' $(FABRIC_TMP)/fabric.jsonl \
+		|| { echo "fabric-smoke: records carry no worker attribution"; exit 1; }; \
+	curl -fsS http://$(FABRIC_ADDR)/metrics | grep -Eq '^fleet_leases_expired_total [1-9]' \
+		|| { echo "fabric-smoke: /metrics shows no lease expiry after kill"; exit 1; }; \
+	echo "lease expiry visible in /metrics"; \
+	curl -fsS http://$(FABRIC_ADDR)/sweeps/$$id/timeline | grep -q '"spans"' \
+		|| { echo "fabric-smoke: timeline endpoint returned no spans"; exit 1; }; \
+	test -s $(FABRIC_TMP)/flight/coordinator-lease-expiry.flight.jsonl \
+		|| { echo "fabric-smoke: no coordinator flight dump after lease expiry"; exit 1; }; \
+	echo "timeline served; flight dump present"; \
+	kill $$coord 2>/dev/null || true; wait $$coord 2>/dev/null || true; \
+	$(FABRIC_TMP)/sweep -serve $(FABRIC_ADDR) -store $(FABRIC_TMP)/store \
+		-flight-dir $(FABRIC_TMP)/flight \
+		-lease-jobs 1 -lease-ttl 3s -heartbeat 500ms & coord=$$!; \
+	for i in $$(seq 1 100); do \
+		curl -fsS http://$(FABRIC_ADDR)/healthz >/dev/null 2>&1 && break; sleep 0.1; \
+	done; \
 	curl -fsS -X POST --data-binary @examples/sweepspec_smoke.json http://$(FABRIC_ADDR)/submit \
 		| grep -q '"pending":0' \
 		|| { echo "fabric-smoke: resubmit was not served from the store"; exit 1; }; \
-	echo "resubmit served entirely from store"
+	curl -fsS http://$(FABRIC_ADDR)/metrics | grep -Eq '^fleet_store_hits_total [1-9]' \
+		|| { echo "fabric-smoke: restarted coordinator shows no store hits"; exit 1; }; \
+	echo "resubmit served entirely from store (store-hit series non-zero)"
 	@rm -rf $(FABRIC_TMP)
 
 # bench-smoke compiles and runs every benchmark exactly once — it catches

@@ -344,13 +344,16 @@ func BenchmarkRouterStep(b *testing.B) {
 	}
 }
 
-// BenchmarkGPUCycle measures full-system cycles per second.
+// BenchmarkGPUCycle measures full-system cycles per second, with the
+// always-on flight recorder attached the way production sweeps run it —
+// the number must hold with the ring recording.
 func BenchmarkGPUCycle(b *testing.B) {
 	cfg := config.Default()
 	sim, err := gpu.New(cfg, workload.MustGet("KMN"))
 	if err != nil {
 		b.Fatal(err)
 	}
+	sim.AttachFlight(4096, "")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sim.Step()
@@ -392,6 +395,7 @@ func BenchmarkGPUCycleLarge(b *testing.B) {
 				b.Fatal(err)
 			}
 			defer sim.Close()
+			sim.AttachFlight(4096, "")
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				sim.Step()

@@ -148,6 +148,34 @@ func WriteDiff(w io.Writer, rows []DiffRow, threshold float64) {
 	fmt.Fprintf(w, "(threshold ±%.1f%% on median ns/op)\n", threshold*100)
 }
 
+// WriteDiffMarkdown renders the rows as a GitHub-flavored markdown table —
+// the shape CI posts to the Actions step summary.
+func WriteDiffMarkdown(w io.Writer, rows []DiffRow, threshold float64) {
+	fmt.Fprintln(w, "| benchmark | baseline ns/op | new ns/op | delta | verdict |")
+	fmt.Fprintln(w, "|---|---:|---:|---:|---|")
+	for _, r := range rows {
+		base, cur, delta := "—", "—", "—"
+		if r.Verdict != VerdictMissingBaseline {
+			base = fmt.Sprintf("%.1f", r.Baseline)
+		}
+		if r.Verdict != VerdictMissingNew {
+			cur = fmt.Sprintf("%.1f", r.New)
+		}
+		if r.Verdict == VerdictOK || r.Verdict == VerdictImproved || r.Verdict == VerdictRegressed {
+			delta = fmt.Sprintf("%+.1f%%", r.Delta*100)
+		}
+		verdict := string(r.Verdict)
+		switch r.Verdict {
+		case VerdictRegressed, VerdictMissingNew:
+			verdict = "**" + verdict + "**"
+		case VerdictImproved:
+			verdict = "_" + verdict + "_"
+		}
+		fmt.Fprintf(w, "| %s | %s | %s | %s | %s |\n", r.Name, base, cur, delta, verdict)
+	}
+	fmt.Fprintf(w, "\nThreshold: ±%.1f%% on median ns/op.\n", threshold*100)
+}
+
 // runDiff is the `benchjson diff` entry point.
 func runDiff(args []string) {
 	fs := flag.NewFlagSet("benchjson diff", flag.ExitOnError)
@@ -156,6 +184,7 @@ func runDiff(args []string) {
 	threshold := fs.Float64("threshold", 0.05, "relative noise threshold on median ns/op")
 	failOn := fs.Bool("fail-on-regress", false, "exit non-zero on a regression or a missing benchmark")
 	jsonOut := fs.Bool("json", false, "emit the diff rows as JSON instead of a table")
+	mdOut := fs.Bool("markdown", false, "emit the diff rows as a markdown table (for CI step summaries)")
 	if err := fs.Parse(args); err != nil {
 		fatal(err)
 	}
@@ -180,13 +209,16 @@ func runDiff(args []string) {
 	}
 
 	rows := Diff(baseline, current, *threshold)
-	if *jsonOut {
+	switch {
+	case *jsonOut:
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(rows); err != nil {
 			fatal(err)
 		}
-	} else {
+	case *mdOut:
+		WriteDiffMarkdown(os.Stdout, rows, *threshold)
+	default:
 		WriteDiff(os.Stdout, rows, *threshold)
 	}
 	if *failOn && AnyRegressed(rows) {

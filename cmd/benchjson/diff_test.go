@@ -131,6 +131,23 @@ func TestEnvMismatch(t *testing.T) {
 	}
 }
 
+func TestWriteDiffMarkdown(t *testing.T) {
+	rows := Diff(
+		report(bench("BenchmarkA-8", 100), bench("BenchmarkGone-8", 50)),
+		report(bench("BenchmarkA-8", 120)), 0.05)
+	var sb strings.Builder
+	WriteDiffMarkdown(&sb, rows, 0.05)
+	out := sb.String()
+	for _, want := range []string{
+		"| benchmark |", "|---|", "| BenchmarkA-8 | 100.0 | 120.0 | +20.0% | **regressed** |",
+		"**missing-new**", "±5.0%",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("markdown output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestWriteDiffTable(t *testing.T) {
 	rows := Diff(report(bench("BenchmarkA-8", 100)),
 		report(bench("BenchmarkA-8", 120)), 0.05)

@@ -61,6 +61,9 @@ func main() {
 
 		obsAddr = flag.String("obs-addr", "", "serve live sweep /metrics, /state, /progress on this address (empty = off)")
 
+		flightN   = flag.Int("flight-recorder", 4096, "flight-recorder ring size in events (0 = off); dumps recent cycle-domain events as JSONL on panic, invariant failure, or watchdog trip")
+		flightDir = flag.String("flight-dir", "", "directory for flight-recorder post-mortem dumps (default: <out>.flight)")
+
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 
@@ -89,35 +92,43 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	// The instruments select the base runner; fault injection (single mode)
-	// then wraps it rather than replacing it, so every job except the
-	// targeted one still simulates for real.
-	runner := sweep.Simulate
+	// The instruments compose into one options value: sanitizer, telemetry,
+	// and the flight recorder all thread through gpu.RunOptions; fault
+	// injection (single mode) then wraps the runner rather than replacing
+	// it, so every job except the targeted one still simulates for real.
+	fdir := *flightDir
+	if fdir == "" {
+		fdir = *out + ".flight"
+	}
+	ropts := gpu.RunOptions{
+		SanitizeEvery:  *sanitize,
+		FlightRecorder: *flightN,
+		FlightDir:      fdir,
+	}
 	telemetryDir := ""
-	switch {
-	case *telEpoch > 0:
-		runner = sweep.SimulateInstrumented(*sanitize, *telEpoch)
+	if *telEpoch > 0 {
+		ropts.TelemetryEpoch = *telEpoch
 		telemetryDir = *telDir
 		if telemetryDir == "" {
 			telemetryDir = *out + ".telemetry"
 		}
-	case *sanitize > 0:
-		runner = sweep.SimulateSanitized(*sanitize)
 	}
+	runner := sweep.SimulateOpts(ropts)
 
 	switch fab.Mode() {
 	case "serve":
-		if err := runServe(ctx, fab, *specFile, *out); err != nil {
+		if err := runServe(ctx, fab, *specFile, *out, *flightN, fdir); err != nil {
 			fatal(err)
 		}
 		return
 	case "connect":
 		if *telEpoch > 0 {
+			// The flight recorder stays on — dumps are per-process and land
+			// on the worker's own disk where its crash is diagnosed.
 			fmt.Fprintln(os.Stderr, "sweep: -telemetry-epoch is ignored in worker mode (artifacts would be stranded on the worker)")
-			runner = sweep.Simulate
-			if *sanitize > 0 {
-				runner = sweep.SimulateSanitized(*sanitize)
-			}
+			wopts := ropts
+			wopts.TelemetryEpoch = 0
+			runner = sweep.SimulateOpts(wopts)
 		}
 		if err := runWorker(ctx, fab, runner, *jobsN, *timeout); err != nil && ctx.Err() == nil {
 			fatal(err)
@@ -253,7 +264,7 @@ func main() {
 // runServe runs the fabric coordinator: open the content-addressed store,
 // serve the submit/lease/results API, optionally submit an initial spec,
 // and hold until interrupted.
-func runServe(ctx context.Context, fab *config.Fabric, specFile, out string) error {
+func runServe(ctx context.Context, fab *config.Fabric, specFile, out string, flightN int, flightDir string) error {
 	storeDir := fab.StoreDir
 	if storeDir == "" {
 		storeDir = out + ".store"
@@ -265,19 +276,24 @@ func runServe(ctx context.Context, fab *config.Fabric, specFile, out string) err
 	logf := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, format+"\n", args...)
 	}
+	if flightN <= 0 {
+		flightN = -1 // CLI off means off, not the coordinator default
+	}
 	co := fabric.NewCoordinator(store, fabric.Options{
-		LeaseTTL:    fab.LeaseTTL,
-		LeaseJobs:   fab.LeaseJobs,
-		MaxAttempts: fab.MaxAttempts,
-		Heartbeat:   fab.Heartbeat,
-		Logf:        logf,
+		LeaseTTL:     fab.LeaseTTL,
+		LeaseJobs:    fab.LeaseJobs,
+		MaxAttempts:  fab.MaxAttempts,
+		Heartbeat:    fab.Heartbeat,
+		FlightEvents: flightN,
+		FlightDir:    flightDir,
+		Logf:         logf,
 	})
 	srv, err := fabric.NewServer(fab.Serve, co)
 	if err != nil {
 		return err
 	}
 	defer srv.Close()
-	fmt.Fprintf(os.Stderr, "coordinator: http://%s/{submit,sweeps,results,workers,progress,healthz}\n", srv.Addr())
+	fmt.Fprintf(os.Stderr, "coordinator: http://%s/{submit,sweeps,results,workers,metrics,progress,healthz}\n", srv.Addr())
 	fmt.Fprintf(os.Stderr, "store: %s (%d cached results)\n", storeDir, store.Len())
 
 	if specFile != "" {
@@ -309,6 +325,7 @@ func runWorker(ctx context.Context, fab *config.Fabric, runner sweep.RunFunc, jo
 		Run:     runner,
 		Jobs:    jobs,
 		Timeout: timeout,
+		ObsAddr: fab.WorkerObs,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},

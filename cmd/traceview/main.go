@@ -4,7 +4,10 @@
 // per-type delivery counts and latencies, plus the head-flit hop histogram.
 // With -spans it instead reads a span JSONL log produced by `nocsim -spans`
 // and renders each sampled packet's hop timeline: cycle, router, VC, and
-// stall causes along the way.
+// stall causes along the way. With -timeline it reads a fleet job-lifecycle
+// timeline (the coordinator's /sweeps/{id}/timeline payload) and renders
+// per-job span tables — or, with -chrome, converts it to a Chrome-trace
+// JSON loadable in Perfetto (https://ui.perfetto.dev) or chrome://tracing.
 //
 // Examples:
 //
@@ -13,14 +16,20 @@
 //
 //	nocsim -bench KMN -cycles 5000 -spans /tmp/kmn.spans.jsonl
 //	traceview -spans -n 5 /tmp/kmn.spans.jsonl
+//
+//	curl -s http://127.0.0.1:9178/sweeps/s0123abc/timeline > tl.json
+//	traceview -timeline tl.json
+//	traceview -timeline -chrome trace.json tl.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
 
+	"gpgpunoc/internal/fleetobs"
 	"gpgpunoc/internal/obs"
 	"gpgpunoc/internal/packet"
 	"gpgpunoc/internal/trace"
@@ -28,10 +37,12 @@ import (
 
 func main() {
 	spans := flag.Bool("spans", false, "input is a span JSONL log (from nocsim -spans)")
-	limit := flag.Int("n", 0, "with -spans, show at most N packet timelines (0 = all)")
+	timeline := flag.Bool("timeline", false, "input is a fleet timeline JSON (from the coordinator's /sweeps/{id}/timeline)")
+	chromeOut := flag.String("chrome", "", "with -timeline, write a Chrome-trace/Perfetto JSON file instead of the text summary")
+	limit := flag.Int("n", 0, "with -spans or -timeline, show at most N timelines (0 = all)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: traceview [-spans] [-n N] <trace.csv | spans.jsonl>")
+		fmt.Fprintln(os.Stderr, "usage: traceview [-spans | -timeline [-chrome out.json]] [-n N] <trace.csv | spans.jsonl | timeline.json>")
 		os.Exit(2)
 	}
 	f, err := os.Open(flag.Arg(0))
@@ -40,6 +51,24 @@ func main() {
 		os.Exit(1)
 	}
 	defer f.Close()
+
+	if *timeline {
+		var tl fleetobs.Timeline
+		if err := json.NewDecoder(f).Decode(&tl); err != nil {
+			fmt.Fprintln(os.Stderr, "traceview: parse timeline:", err)
+			os.Exit(1)
+		}
+		if *chromeOut != "" {
+			if err := writeChrome(*chromeOut, &tl); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("chrome trace: %s (load in https://ui.perfetto.dev or chrome://tracing)\n", *chromeOut)
+			return
+		}
+		showTimeline(&tl, *limit)
+		return
+	}
 
 	if *spans {
 		log, err := obs.ReadSpans(f)
@@ -78,6 +107,60 @@ func main() {
 			fmt.Printf("  %2d hops: %d packets\n", h, s.Hops[h])
 		}
 	}
+}
+
+// writeChrome converts a fleet timeline to a Chrome-trace file.
+func writeChrome(path string, tl *fleetobs.Timeline) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fleetobs.WriteChromeTimeline(f, tl); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// showTimeline renders each job's fleet lifecycle as a span table.
+func showTimeline(tl *fleetobs.Timeline, limit int) {
+	fmt.Printf("sweep %s: %d jobs, now %dms\n", tl.SweepID, len(tl.Jobs), tl.NowMS)
+	n := len(tl.Jobs)
+	if limit > 0 && limit < n {
+		n = limit
+	}
+	for _, jt := range tl.Jobs[:n] {
+		fmt.Printf("\n%s (%s)\n", jt.Key, jt.Fingerprint)
+		fmt.Printf("  %9s %9s  %-10s %-8s %s\n", "start", "end", "span", "worker", "detail")
+		for _, sp := range jt.Spans {
+			end := fmt.Sprintf("%dms", sp.EndMS)
+			if sp.EndMS < 0 {
+				end = "open"
+			}
+			detail := sp.Detail
+			if sp.Attempt > 0 {
+				detail = fmt.Sprintf("attempt %d", sp.Attempt) + sep(detail)
+			}
+			if sp.Heartbeats > 0 {
+				detail += fmt.Sprintf(" (%d heartbeats)", sp.Heartbeats)
+			}
+			worker := sp.Worker
+			if worker == "" {
+				worker = "-"
+			}
+			fmt.Printf("  %8dms %9s  %-10s %-8s %s\n", sp.StartMS, end, sp.Kind, worker, detail)
+		}
+	}
+	if n < len(tl.Jobs) {
+		fmt.Printf("\n... %d more jobs (raise -n to show them)\n", len(tl.Jobs)-n)
+	}
+}
+
+func sep(detail string) string {
+	if detail == "" {
+		return ""
+	}
+	return ": " + detail
 }
 
 // showSpans renders each sampled packet's lifecycle as a cycle-ordered

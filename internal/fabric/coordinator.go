@@ -34,6 +34,7 @@ import (
 	"sync"
 	"time"
 
+	"gpgpunoc/internal/fleetobs"
 	"gpgpunoc/internal/obs"
 	"gpgpunoc/internal/sweep"
 )
@@ -51,6 +52,13 @@ type Options struct {
 	Heartbeat time.Duration
 	// IdleWaitMS is the poll-again hint returned with an empty lease.
 	IdleWaitMS int64
+	// FlightEvents sizes the coordinator's flight recorder (recent
+	// register/lease/heartbeat/complete/expiry events; defaulted when 0,
+	// < 0 disables it).
+	FlightEvents int
+	// FlightDir, when non-empty, is where the recorder's post-mortem JSONL
+	// dumps land (a lease expiry is the fabric-side dump trigger).
+	FlightDir string
 	// Logf receives operational log lines (nil = silent).
 	Logf func(format string, args ...any)
 }
@@ -74,6 +82,9 @@ func (o *Options) fill() {
 	if o.IdleWaitMS <= 0 {
 		o.IdleWaitMS = 500
 	}
+	if o.FlightEvents == 0 {
+		o.FlightEvents = 4096
+	}
 	if o.Logf == nil {
 		o.Logf = func(string, ...any) {}
 	}
@@ -95,6 +106,9 @@ type trackedJob struct {
 	leaseID  string        // current lease when stateLeased
 	rec      *sweep.Record // terminal record when stateDone
 	lastErr  string        // most recent failure, for the quarantine record
+
+	lastWorker  string // worker of the most recent lease grant
+	lastGrantMS int64  // nowMS of the most recent lease grant (timeline anchor)
 }
 
 type sweepRun struct {
@@ -109,6 +123,7 @@ type workerState struct {
 	name     string
 	lastSeen time.Time
 	leases   int
+	grants   int // leases ever granted
 	done     int
 	failed   int
 }
@@ -138,7 +153,12 @@ type Coordinator struct {
 	nextLease   int
 	storeHits   int
 
+	met    *fleetMetrics                    // /metrics probe set (fleet.go)
+	tline  map[string]*fleetobs.JobTimeline // per-fingerprint span timelines
+	flight *fleetobs.Recorder               // fabric-side flight recorder (nil when disabled)
+
 	progress obs.Snapshot // /progress payload, republished on every change
+	metrics  obs.Snapshot // /metrics exposition, republished on every change
 }
 
 // NewCoordinator returns a coordinator backed by the given store.
@@ -152,6 +172,11 @@ func NewCoordinator(store *Store, opts Options) *Coordinator {
 		sweeps:  map[string]*sweepRun{},
 		workers: map[string]*workerState{},
 		leases:  map[string]*lease{},
+		met:     newFleetMetrics(),
+		tline:   map[string]*fleetobs.JobTimeline{},
+	}
+	if opts.FlightEvents > 0 {
+		c.flight = fleetobs.NewRecorder(opts.FlightEvents)
 	}
 	c.mu.Lock()
 	c.publishLocked()
@@ -203,6 +228,8 @@ func (c *Coordinator) Submit(spec sweep.Spec) (SubmitResponse, error) {
 	if err != nil {
 		return SubmitResponse{}, errf(http.StatusBadRequest, "fabric: submit: %v", err)
 	}
+	now := c.nowMS()
+	c.met.submits.Inc()
 	sw := &sweepRun{id: id, fps: make([]string, 0, len(jobs)), skipped: len(skips)}
 	for _, j := range jobs {
 		fp := j.Fingerprint()
@@ -212,18 +239,24 @@ func (c *Coordinator) Submit(spec sweep.Spec) (SubmitResponse, error) {
 			if tj.state == stateDone && tj.rec != nil && tj.rec.Status == sweep.StatusOK {
 				sw.cached++
 				c.storeHits++
+				c.met.storeHits.Inc()
 			}
 			continue
 		}
+		c.met.jobsExpanded.Inc()
 		tj := &trackedJob{job: j, fp: fp}
 		if rec, ok := c.store.Get(fp); ok {
 			tj.state = stateDone
 			tj.rec = &rec
 			sw.cached++
 			c.storeHits++
+			c.met.storeHits.Inc()
+			c.tlAppendLocked(fp, tj, fleetobs.TSpan{Kind: fleetobs.SpanCacheHit, StartMS: now, EndMS: now})
 		} else {
 			tj.state = statePending
 			c.queue = append(c.queue, fp)
+			c.met.storeMisses.Inc()
+			c.tlAppendLocked(fp, tj, fleetobs.TSpan{Kind: fleetobs.SpanQueued, StartMS: now, EndMS: -1})
 		}
 		c.jobs[fp] = tj
 	}
@@ -257,8 +290,12 @@ func (c *Coordinator) Register(req RegisterRequest) (RegisterResponse, error) {
 	if name == "" {
 		name = id
 	}
-	c.workers[id] = &workerState{id: id, name: name, lastSeen: time.Now()}
+	w := &workerState{id: id, name: name, lastSeen: time.Now()}
+	c.workers[id] = w
 	c.workerOrder = append(c.workerOrder, id)
+	c.met.workers.Inc()
+	c.registerWorkerProbes(w)
+	c.flight.Record(-1, fleetobs.KindRegister, c.nowMS(), workerNum(id), 0)
 	c.opts.Logf("fabric: worker %s (%s) registered", id, name)
 	c.publishLocked()
 	return RegisterResponse{
@@ -309,11 +346,26 @@ func (c *Coordinator) Lease(req LeaseRequest) (LeaseResponse, error) {
 		fps:     fps,
 		expires: now.Add(c.opts.LeaseTTL),
 	}
+	grantMS := c.nowMS()
 	for _, fp := range fps {
-		c.jobs[fp].leaseID = l.id
+		tj := c.jobs[fp]
+		tj.leaseID = l.id
+		tj.lastWorker = w.id
+		tj.lastGrantMS = grantMS
+		if tj.attempts > 1 {
+			c.met.retries.Inc()
+		}
+		c.tlCloseOpenLocked(fp, grantMS)
+		c.tlAppendLocked(fp, tj, fleetobs.TSpan{
+			Kind: fleetobs.SpanLease, StartMS: grantMS, EndMS: -1,
+			Worker: w.id, Attempt: tj.attempts,
+		})
 	}
 	c.leases[l.id] = l
 	w.leases++
+	w.grants++
+	c.met.leasesGranted.Inc()
+	c.flight.Record(-1, fleetobs.KindLease, grantMS, workerNum(w.id), int64(len(jobs)))
 	c.opts.Logf("fabric: lease %s -> %s: %d jobs", l.id, w.id, len(jobs))
 	c.publishLocked()
 	return LeaseResponse{LeaseID: l.id, Jobs: jobs}, nil
@@ -334,6 +386,18 @@ func (c *Coordinator) Heartbeat(req HeartbeatRequest) (HeartbeatResponse, error)
 		return HeartbeatResponse{OK: false}, nil
 	}
 	l.expires = now.Add(c.opts.LeaseTTL)
+	c.met.heartbeats.Inc()
+	c.flight.Record(-1, fleetobs.KindHeartbeat, c.nowMS(), workerNum(req.WorkerID), 0)
+	// Stamp the renewal on each job's open lease span so timelines show a
+	// live worker versus one that went silent.
+	for _, fp := range l.fps {
+		if jt := c.tline[fp]; jt != nil && len(jt.Spans) > 0 {
+			sp := &jt.Spans[len(jt.Spans)-1]
+			if sp.Kind == fleetobs.SpanLease && sp.EndMS == -1 {
+				sp.Heartbeats++
+			}
+		}
+	}
 	return HeartbeatResponse{OK: true}, nil
 }
 
@@ -353,6 +417,7 @@ func (c *Coordinator) Complete(req CompleteRequest) (CompleteResponse, error) {
 	}
 
 	var resp CompleteResponse
+	nowMS := c.nowMS()
 	for _, rec := range req.Records {
 		tj, ok := c.jobs[rec.Fingerprint]
 		if !ok || tj.state == stateDone {
@@ -360,10 +425,21 @@ func (c *Coordinator) Complete(req CompleteRequest) (CompleteResponse, error) {
 			continue
 		}
 		if rec.Status == sweep.StatusOK {
-			if err := c.store.Put(rec); err != nil {
+			// Stamp fleet-level attribution into the execution footprint
+			// before the record is stored: which worker produced the accepted
+			// result, on which attempt. A private Exec copy keeps the
+			// caller's request value untouched.
+			r := rec
+			e := sweep.Exec{}
+			if r.Exec != nil {
+				e = *r.Exec
+			}
+			e.Worker = req.WorkerID
+			e.Attempt = tj.attempts
+			r.Exec = &e
+			if err := c.store.Put(r); err != nil {
 				return resp, errf(http.StatusInternalServerError, "fabric: %v", err)
 			}
-			r := rec
 			tj.state = stateDone
 			tj.rec = &r
 			tj.leaseID = ""
@@ -371,12 +447,22 @@ func (c *Coordinator) Complete(req CompleteRequest) (CompleteResponse, error) {
 			if w != nil {
 				w.done++
 			}
+			c.met.jobsDone.Inc()
+			c.tlCloseOpenLocked(tj.fp, nowMS)
+			c.tlAppendLocked(tj.fp, tj, fleetobs.TSpan{
+				Kind: fleetobs.SpanDone, StartMS: nowMS, EndMS: nowMS,
+				Worker: req.WorkerID, Attempt: tj.attempts,
+			})
 			continue
 		}
 		// A worker-reported failure consumes the attempt its lease granted.
 		tj.lastErr = rec.Error
 		if w != nil {
 			w.failed++
+		}
+		c.met.jobsFailed.Inc()
+		if sp := c.tlCloseOpenLocked(tj.fp, nowMS); sp != nil && sp.Kind == fleetobs.SpanLease {
+			sp.Detail = "failed"
 		}
 		if tj.attempts >= c.opts.MaxAttempts {
 			c.quarantineLocked(tj, fmt.Sprintf("poison job: failed %d/%d attempts, last: %s",
@@ -388,6 +474,15 @@ func (c *Coordinator) Complete(req CompleteRequest) (CompleteResponse, error) {
 		tj.leaseID = ""
 		c.queue = append(c.queue, tj.fp)
 		resp.Requeued++
+		c.met.requeued.Inc()
+		c.tlAppendLocked(tj.fp, tj, fleetobs.TSpan{Kind: fleetobs.SpanQueued, StartMS: nowMS, EndMS: -1})
+	}
+	c.attachWorkerSpansLocked(req.WorkerID, req.Spans)
+	if resp.Accepted > 0 {
+		c.flight.Record(-1, fleetobs.KindComplete, nowMS, workerNum(req.WorkerID), int64(resp.Accepted))
+	}
+	if resp.Requeued > 0 {
+		c.flight.Record(-1, fleetobs.KindRequeue, nowMS, workerNum(req.WorkerID), int64(resp.Requeued))
 	}
 
 	if l, ok := c.leases[req.LeaseID]; ok && l.worker == req.WorkerID {
@@ -398,20 +493,31 @@ func (c *Coordinator) Complete(req CompleteRequest) (CompleteResponse, error) {
 		// Jobs the lease covered but the worker did not report (a cancelled
 		// batch posts partial results) go straight back to the queue rather
 		// than waiting out the TTL.
-		c.releaseLeaseJobsLocked(l, "returned unfinished by "+req.WorkerID)
+		c.releaseLeaseJobsLocked(l, "returned unfinished by "+req.WorkerID, false)
 	}
 	c.publishLocked()
 	return resp, nil
 }
 
-// quarantineLocked files the terminal failure record for a poison job.
+// quarantineLocked files the terminal failure record for a poison job. The
+// record carries the last worker that held the job — the one whose failure
+// (or disappearance) exhausted the attempt budget — for attribution.
 func (c *Coordinator) quarantineLocked(tj *trackedJob, msg string) {
 	rec := sweep.NewRecord(tj.job)
 	rec.Status = sweep.StatusFailed
 	rec.Error = msg
+	rec.Exec = &sweep.Exec{Worker: tj.lastWorker, Attempt: tj.attempts}
 	tj.state = stateDone
 	tj.rec = &rec
 	tj.leaseID = ""
+	c.met.quarantined.Inc()
+	now := c.nowMS()
+	c.tlCloseOpenLocked(tj.fp, now)
+	c.tlAppendLocked(tj.fp, tj, fleetobs.TSpan{
+		Kind: fleetobs.SpanFailed, StartMS: now, EndMS: now,
+		Worker: tj.lastWorker, Attempt: tj.attempts, Detail: msg,
+	})
+	c.flight.Record(-1, fleetobs.KindQuarantine, now, workerNum(tj.lastWorker), int64(tj.attempts))
 	c.opts.Logf("fabric: job %s quarantined: %s", tj.fp, msg)
 }
 
@@ -434,19 +540,36 @@ func (c *Coordinator) expireLocked(now time.Time) {
 		if w := c.workers[l.worker]; w != nil && w.leases > 0 {
 			w.leases--
 		}
+		c.met.leasesExpired.Inc()
+		c.flight.Record(-1, fleetobs.KindLeaseExpired, c.nowMS(), workerNum(l.worker), int64(len(l.fps)))
 		c.opts.Logf("fabric: lease %s (%s) expired: re-queueing", id, l.worker)
-		c.releaseLeaseJobsLocked(l, "worker "+l.worker+" lost (lease expired)")
+		c.releaseLeaseJobsLocked(l, "worker "+l.worker+" lost (lease expired)", true)
+	}
+	if len(expired) > 0 {
+		// A lease expiry means a worker went silent — the fabric-side
+		// post-mortem trigger. Dump the recent-event ring for diagnosis.
+		c.dumpCoordFlight("lease expiry")
 	}
 	c.publishLocked()
 }
 
 // releaseLeaseJobsLocked returns a dead lease's unfinished jobs to the
-// queue, quarantining the ones that exhausted their attempts.
-func (c *Coordinator) releaseLeaseJobsLocked(l *lease, why string) {
+// queue, quarantining the ones that exhausted their attempts. expired
+// distinguishes a TTL expiry (silent worker) from a voluntary return
+// (partial batch) on the job timelines.
+func (c *Coordinator) releaseLeaseJobsLocked(l *lease, why string, expired bool) {
+	now := c.nowMS()
 	for _, fp := range l.fps {
 		tj := c.jobs[fp]
 		if tj == nil || tj.state != stateLeased || tj.leaseID != l.id {
 			continue
+		}
+		c.tlCloseOpenLocked(fp, now)
+		if expired {
+			c.tlAppendLocked(fp, tj, fleetobs.TSpan{
+				Kind: fleetobs.SpanExpired, StartMS: now, EndMS: now,
+				Worker: l.worker, Attempt: tj.attempts,
+			})
 		}
 		if tj.attempts >= c.opts.MaxAttempts {
 			msg := fmt.Sprintf("poison job: %s after %d/%d attempts", why, tj.attempts, c.opts.MaxAttempts)
@@ -459,6 +582,7 @@ func (c *Coordinator) releaseLeaseJobsLocked(l *lease, why string) {
 		tj.state = statePending
 		tj.leaseID = ""
 		c.queue = append(c.queue, fp)
+		c.tlAppendLocked(fp, tj, fleetobs.TSpan{Kind: fleetobs.SpanQueued, StartMS: now, EndMS: -1})
 	}
 }
 
@@ -579,4 +703,7 @@ func (c *Coordinator) publishLocked() {
 	if err := c.progress.SetJSON(p); err != nil {
 		panic(fmt.Sprintf("fabric: publish progress: %v", err)) // Progress always marshals
 	}
+	c.met.queueDepth.Set(int64(len(c.queue)))
+	c.met.running.Set(int64(p.Leased))
+	c.metrics.Set(c.renderMetricsLocked())
 }

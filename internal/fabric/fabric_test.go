@@ -487,8 +487,29 @@ func TestCrossModeGolden(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	if !bytes.Equal(single.Bytes(), fabricOut.Bytes()) {
+	// Byte-identical modulo the Exec footprint: wall time, allocation, and
+	// worker placement legitimately differ per mode, which is exactly why
+	// Record.Canonical exists. Compare the canonical encodings.
+	if !bytes.Equal(canonicalJSONL(t, single.Bytes()), canonicalJSONL(t, fabricOut.Bytes())) {
 		t.Fatalf("cross-mode output mismatch:\nsingle-process (%d bytes):\n%s\nfabric (%d bytes):\n%s",
 			single.Len(), single.String(), fabricOut.Len(), fabricOut.String())
 	}
+}
+
+// canonicalJSONL re-encodes a record stream in canonical (Exec-stripped)
+// form for cross-mode byte comparison.
+func canonicalJSONL(t *testing.T, data []byte) []byte {
+	t.Helper()
+	recs, err := sweep.ReadRecords(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	sink := sweep.NewJSONL(&out)
+	for _, rec := range recs {
+		if err := sink.Write(rec.Canonical()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out.Bytes()
 }

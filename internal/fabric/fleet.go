@@ -1,0 +1,216 @@
+// Fleet observability for the coordinator: the telemetry registry behind
+// /metrics, the per-job span timelines behind /sweeps/{id}/timeline, and
+// the coordinator-side flight recorder. Everything here runs under the
+// coordinator's single mutex — the probes and timelines are plain fields,
+// the rendered exposition is published through an obs.Snapshot, and the
+// flight recorder's single-writer contract is the mutex itself.
+//
+// This file (like coordinator.go) is service code on the wall-clock side of
+// the determinism boundary: it may read time because nothing here feeds
+// back into simulation results.
+
+package fabric
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"gpgpunoc/internal/fleetobs"
+	"gpgpunoc/internal/telemetry"
+)
+
+// fleetMetrics is the coordinator's probe set. Counters are bumped at the
+// state transitions they name; gauges are recomputed in publishLocked.
+type fleetMetrics struct {
+	reg *telemetry.Registry
+
+	submits       *telemetry.Counter
+	jobsExpanded  *telemetry.Counter
+	leasesGranted *telemetry.Counter
+	leasesExpired *telemetry.Counter
+	heartbeats    *telemetry.Counter
+	retries       *telemetry.Counter
+	requeued      *telemetry.Counter
+	quarantined   *telemetry.Counter
+	storeHits     *telemetry.Counter
+	storeMisses   *telemetry.Counter
+	jobsDone      *telemetry.Counter
+	jobsFailed    *telemetry.Counter
+	workers       *telemetry.Counter
+
+	queueDepth *telemetry.Gauge
+	running    *telemetry.Gauge
+}
+
+func newFleetMetrics() *fleetMetrics {
+	reg := telemetry.NewRegistry()
+	return &fleetMetrics{
+		reg:           reg,
+		submits:       reg.Counter("fleet.submits"),
+		jobsExpanded:  reg.Counter("fleet.jobs"),
+		leasesGranted: reg.Counter("fleet.leases_granted"),
+		leasesExpired: reg.Counter("fleet.leases_expired"),
+		heartbeats:    reg.Counter("fleet.heartbeats"),
+		retries:       reg.Counter("fleet.retries"),
+		requeued:      reg.Counter("fleet.requeued"),
+		quarantined:   reg.Counter("fleet.quarantined"),
+		storeHits:     reg.Counter("fleet.store_hits"),
+		storeMisses:   reg.Counter("fleet.store_misses"),
+		jobsDone:      reg.Counter("fleet.jobs_done"),
+		jobsFailed:    reg.Counter("fleet.jobs_failed"),
+		workers:       reg.Counter("fleet.workers"),
+		queueDepth:    reg.Gauge("fleet.queue_depth"),
+		running:       reg.Gauge("fleet.running"),
+	}
+}
+
+// registerWorkerProbes adds the per-worker gauge set for w. GaugeFuncs are
+// read only when publishLocked renders the exposition — under c.mu, the
+// same lock every workerState mutation holds — so the closures are
+// race-free by construction.
+func (c *Coordinator) registerWorkerProbes(w *workerState) {
+	prefix := "fleet.worker." + w.id + "."
+	c.met.reg.GaugeFunc(prefix+"leases_held", func() int64 { return int64(w.leases) })
+	c.met.reg.GaugeFunc(prefix+"lease_grants", func() int64 { return int64(w.grants) })
+	c.met.reg.GaugeFunc(prefix+"jobs_done", func() int64 { return int64(w.done) })
+	c.met.reg.GaugeFunc(prefix+"jobs_failed", func() int64 { return int64(w.failed) })
+	c.met.reg.GaugeFunc(prefix+"heartbeat_age_ms", func() int64 {
+		return time.Since(w.lastSeen).Milliseconds()
+	})
+}
+
+// nowMS returns milliseconds since the coordinator started — the time base
+// of every timeline span and fabric-side flight event.
+func (c *Coordinator) nowMS() int64 { return time.Since(c.start).Milliseconds() }
+
+// workerNum extracts the ordinal from a coordinator-assigned worker ID
+// ("w12" -> 12; 0 for anything else) for flight-event payloads.
+func workerNum(id string) int64 {
+	n, err := strconv.ParseInt(strings.TrimPrefix(id, "w"), 10, 64)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// timelineLocked returns (creating if needed) the span timeline for fp.
+func (c *Coordinator) timelineLocked(fp string, tj *trackedJob) *fleetobs.JobTimeline {
+	jt, ok := c.tline[fp]
+	if !ok {
+		jt = &fleetobs.JobTimeline{Fingerprint: fp, Key: tj.job.Key}
+		c.tline[fp] = jt
+	}
+	return jt
+}
+
+// tlCloseOpenLocked closes fp's open span (EndMS == -1) at now, returning
+// it for further annotation (nil when no span is open).
+func (c *Coordinator) tlCloseOpenLocked(fp string, now int64) *fleetobs.TSpan {
+	jt := c.tline[fp]
+	if jt == nil || len(jt.Spans) == 0 {
+		return nil
+	}
+	sp := &jt.Spans[len(jt.Spans)-1]
+	if sp.EndMS != -1 {
+		return nil
+	}
+	sp.EndMS = now
+	return sp
+}
+
+// tlAppendLocked appends a span to fp's timeline.
+func (c *Coordinator) tlAppendLocked(fp string, tj *trackedJob, sp fleetobs.TSpan) {
+	jt := c.timelineLocked(fp, tj)
+	jt.Spans = append(jt.Spans, sp)
+}
+
+// Timeline assembles the /sweeps/{id}/timeline payload: every job of the
+// sweep with its full span history, in expansion order.
+func (c *Coordinator) Timeline(id string) (*fleetobs.Timeline, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLocked(time.Now())
+	sw, ok := c.sweeps[id]
+	if !ok {
+		return nil, errf(404, "fabric: unknown sweep %q", id)
+	}
+	tl := &fleetobs.Timeline{
+		SweepID:     id,
+		StartUnixMS: c.start.UnixMilli(),
+		NowMS:       c.nowMS(),
+	}
+	for _, fp := range sw.fps {
+		jt := c.tline[fp]
+		if jt == nil {
+			continue
+		}
+		// Deep-copy so the handler's JSON encoding happens outside the lock
+		// on bytes the coordinator will not mutate.
+		cp := &fleetobs.JobTimeline{
+			Fingerprint: jt.Fingerprint,
+			Key:         jt.Key,
+			Spans:       append([]fleetobs.TSpan(nil), jt.Spans...),
+		}
+		tl.Jobs = append(tl.Jobs, cp)
+	}
+	return tl, nil
+}
+
+// dumpCoordFlight writes the coordinator's flight-recorder snapshot (lease
+// expiry is the fabric-side post-mortem trigger). Best-effort: a dump
+// failure is logged, never propagated.
+func (c *Coordinator) dumpCoordFlight(reason string) {
+	if c.flight == nil || c.opts.FlightDir == "" {
+		return
+	}
+	name := "coordinator-" + strings.ReplaceAll(reason, " ", "-")
+	path, err := c.flight.Dump(c.opts.FlightDir, name, "coordinator", reason)
+	if err != nil {
+		c.opts.Logf("fabric: flight dump: %v", err)
+		return
+	}
+	c.opts.Logf("fabric: flight dump written: %s", path)
+}
+
+// attachWorkerSpansLocked merges the worker-side sub-spans shipped in a
+// complete payload into the job timelines. Worker offsets are relative to
+// the batch start; the coordinator anchors them at the job's last lease
+// grant — an approximation (network latency and queueing inside the batch
+// shift the anchor), documented as such in DESIGN.md §15.
+func (c *Coordinator) attachWorkerSpansLocked(workerID string, spans []WireSpan) {
+	for _, ws := range spans {
+		tj, ok := c.jobs[ws.Fingerprint]
+		if !ok {
+			continue
+		}
+		anchor := tj.lastGrantMS
+		detail := ""
+		if !ws.OK {
+			detail = "failed"
+		}
+		c.tlAppendLocked(ws.Fingerprint, tj, fleetobs.TSpan{
+			Kind:    fleetobs.SpanWorker,
+			StartMS: anchor + ws.StartOffMS,
+			EndMS:   anchor + ws.EndOffMS,
+			Worker:  workerID,
+			Attempt: tj.attempts,
+			Detail:  detail,
+		})
+	}
+}
+
+// renderMetricsLocked renders the Prometheus exposition, appending the one
+// derived sample the registry's int64 probes cannot express: jobs/sec over
+// the coordinator's lifetime.
+func (c *Coordinator) renderMetricsLocked() []byte {
+	b := fleetobs.RenderProm(c.met.reg)
+	secs := time.Since(c.start).Seconds()
+	rate := 0.0
+	if secs > 0 {
+		rate = float64(c.met.jobsDone.Value()) / secs
+	}
+	extra := fmt.Sprintf("# HELP fleet_jobs_per_second OK records accepted per second of coordinator uptime.\n# TYPE fleet_jobs_per_second gauge\nfleet_jobs_per_second %g\n", rate)
+	return append(b, extra...)
+}

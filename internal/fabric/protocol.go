@@ -93,11 +93,24 @@ type HeartbeatResponse struct {
 
 // CompleteRequest posts a lease's finished records. Records are matched to
 // jobs by fingerprint; the lease merely closes bookkeeping, so results
-// from an expired lease still count.
+// from an expired lease still count. Spans carries the worker-side run
+// sub-spans for the coordinator's job timelines; it is advisory — a worker
+// that sends none loses only timeline detail.
 type CompleteRequest struct {
 	WorkerID string         `json:"worker_id"`
 	LeaseID  string         `json:"lease_id"`
 	Records  []sweep.Record `json:"records"`
+	Spans    []WireSpan     `json:"spans,omitempty"`
+}
+
+// WireSpan is one worker-side execution sub-span shipped back in a complete
+// payload. Offsets are milliseconds relative to the worker's batch start;
+// the coordinator re-anchors them at the job's lease-grant time.
+type WireSpan struct {
+	Fingerprint string `json:"fingerprint"`
+	StartOffMS  int64  `json:"start_off_ms"`
+	EndOffMS    int64  `json:"end_off_ms"`
+	OK          bool   `json:"ok"`
 }
 
 // CompleteResponse reports what the coordinator did with the records.

@@ -8,9 +8,11 @@
 //	POST /submit               sweep.Spec JSON      -> SubmitResponse
 //	GET  /sweeps/{id}                               -> SweepStatus
 //	GET  /sweeps/{id}/results                       -> Record JSONL, expansion order
+//	GET  /sweeps/{id}/timeline                      -> fleetobs.Timeline JSON
+//	     (?format=chrome for a Perfetto/chrome://tracing trace)
 //	GET  /results/{fingerprint}                     -> Record JSON (content-addressed)
 //	GET  /workers                                   -> []WorkerInfo
-//	GET  /progress, /healthz                        -> obs-style exposition
+//	GET  /progress, /healthz, /metrics              -> obs-style exposition
 //
 // Worker API (all POST, JSON request/response):
 //
@@ -26,6 +28,7 @@ import (
 	"strings"
 	"time"
 
+	"gpgpunoc/internal/fleetobs"
 	"gpgpunoc/internal/obs"
 	"gpgpunoc/internal/sweep"
 )
@@ -48,6 +51,7 @@ func NewServer(addr string, co *Coordinator) (*Server, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", obs.Healthz)
 	mux.HandleFunc("/progress", co.progress.Handler("application/json"))
+	mux.HandleFunc("/metrics", co.metrics.Handler("text/plain; version=0.0.4; charset=utf-8"))
 	mux.HandleFunc("/workers", s.handleWorkers)
 	mux.HandleFunc("/submit", s.handleSubmit)
 	mux.HandleFunc("/sweeps/", s.handleSweeps)
@@ -141,6 +145,18 @@ func (s *Server) handleSweeps(w http.ResponseWriter, r *http.Request) {
 				return // client went away mid-stream
 			}
 		}
+	case "timeline":
+		tl, err := s.co.Timeline(id)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		if r.URL.Query().Get("format") == "chrome" {
+			w.Header().Set("Content-Type", "application/json")
+			_ = fleetobs.WriteChromeTimeline(w, tl)
+			return
+		}
+		writeJSON(w, tl)
 	default:
 		http.NotFound(w, r)
 	}

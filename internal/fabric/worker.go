@@ -15,9 +15,13 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 	"time"
 
+	"gpgpunoc/internal/fleetobs"
+	"gpgpunoc/internal/obs"
 	"gpgpunoc/internal/sweep"
+	"gpgpunoc/internal/telemetry"
 )
 
 // WorkerOptions tune a worker.
@@ -35,6 +39,10 @@ type WorkerOptions struct {
 	Poll time.Duration
 	// Client overrides the HTTP client (nil = 30s-timeout default).
 	Client *http.Client
+	// ObsAddr, when non-empty, serves the worker's own /healthz and
+	// /metrics on that address — per-process liveness and throughput for
+	// fleet monitoring, independent of the coordinator's aggregate view.
+	ObsAddr string
 	// Logf receives operational log lines (nil = silent).
 	Logf func(format string, args ...any)
 }
@@ -47,6 +55,44 @@ type Worker struct {
 	id          string
 	heartbeat   time.Duration
 	batchesDone int
+
+	// Worker-side observability. The probes are touched only from the Run
+	// goroutine (the engine's concurrency is invisible here: metrics update
+	// between batches from mem.Records()); the obs server just serves the
+	// latest rendered bytes.
+	wmet  *workerMetrics
+	obsrv *obs.Server
+}
+
+// workerMetrics is the worker's own probe set, exposed on ObsAddr.
+type workerMetrics struct {
+	reg        *telemetry.Registry
+	leases     *telemetry.Counter
+	batches    *telemetry.Counter
+	jobsOK     *telemetry.Counter
+	jobsFailed *telemetry.Counter
+	busy       *telemetry.Gauge
+}
+
+func newWorkerMetrics() *workerMetrics {
+	reg := telemetry.NewRegistry()
+	return &workerMetrics{
+		reg:        reg,
+		leases:     reg.Counter("fleet.leases"),
+		batches:    reg.Counter("fleet.batches"),
+		jobsOK:     reg.Counter("fleet.jobs_ok"),
+		jobsFailed: reg.Counter("fleet.jobs_failed"),
+		busy:       reg.Gauge("fleet.busy"),
+	}
+}
+
+// publishObs renders and publishes the worker's /metrics exposition (no-op
+// without an obs server).
+func (w *Worker) publishObs() {
+	if w.obsrv == nil {
+		return
+	}
+	w.obsrv.SetMetrics(fleetobs.RenderProm(w.wmet.reg))
 }
 
 // NewWorker returns a worker for the coordinator at baseURL
@@ -64,13 +110,23 @@ func NewWorker(baseURL string, opts WorkerOptions) *Worker {
 	if opts.Logf == nil {
 		opts.Logf = func(string, ...any) {}
 	}
-	return &Worker{base: strings.TrimRight(baseURL, "/"), opts: opts}
+	return &Worker{base: strings.TrimRight(baseURL, "/"), opts: opts, wmet: newWorkerMetrics()}
 }
 
 // Run registers and serves leases until ctx is cancelled. Transient
 // coordinator errors (it may not be up yet, or restarting) are retried
 // with a fixed backoff; only ctx cancellation ends the loop.
 func (w *Worker) Run(ctx context.Context) error {
+	if w.opts.ObsAddr != "" {
+		srv, err := obs.NewServer(w.opts.ObsAddr)
+		if err != nil {
+			return err
+		}
+		w.obsrv = srv
+		defer srv.Close()
+		w.publishObs()
+		w.opts.Logf("fabric: worker obs on http://%s (/healthz /metrics)", srv.Addr())
+	}
 	for {
 		if err := w.register(ctx); err != nil {
 			if ctx.Err() != nil {
@@ -155,13 +211,19 @@ func (w *Worker) runLease(ctx context.Context, lease LeaseResponse) {
 	defer hbCancel()
 	go w.heartbeatLoop(hbCtx, lease.LeaseID, hbCancel)
 
+	w.wmet.leases.Inc()
+	w.wmet.busy.Set(1)
+	w.publishObs()
+
 	var mem sweep.Memory
+	sc := newSpanCollector()
 	start := time.Now()
 	if len(jobs) > 0 {
 		_, runErr := sweep.Run(hbCtx, jobs, &mem, sweep.Options{
-			Workers: w.opts.Jobs,
-			Timeout: w.opts.Timeout,
-			Run:     w.opts.Run,
+			Workers:  w.opts.Jobs,
+			Timeout:  w.opts.Timeout,
+			Run:      w.opts.Run,
+			Progress: sc.note,
 		})
 		if runErr != nil {
 			w.opts.Logf("fabric: lease %s aborted: %v", lease.LeaseID, runErr)
@@ -170,6 +232,15 @@ func (w *Worker) runLease(ctx context.Context, lease LeaseResponse) {
 	hbCancel()
 
 	recs := append(mem.Records(), badRecs...)
+	for _, rec := range recs {
+		if rec.Status == sweep.StatusOK {
+			w.wmet.jobsOK.Inc()
+		} else {
+			w.wmet.jobsFailed.Inc()
+		}
+	}
+	w.wmet.busy.Set(0)
+	w.publishObs()
 	w.opts.Logf("fabric: lease %s: %d/%d records in %.1fs",
 		lease.LeaseID, len(recs), len(lease.Jobs), time.Since(start).Seconds())
 
@@ -180,7 +251,7 @@ func (w *Worker) runLease(ctx context.Context, lease LeaseResponse) {
 	postCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	var resp CompleteResponse
-	req := CompleteRequest{WorkerID: w.id, LeaseID: lease.LeaseID, Records: recs}
+	req := CompleteRequest{WorkerID: w.id, LeaseID: lease.LeaseID, Records: recs, Spans: sc.take()}
 	for attempt := 0; attempt < 3; attempt++ {
 		if err := w.call(postCtx, "/complete", req, &resp); err != nil {
 			w.opts.Logf("fabric: complete: %v (attempt %d)", err, attempt+1)
@@ -190,8 +261,53 @@ func (w *Worker) runLease(ctx context.Context, lease LeaseResponse) {
 			continue
 		}
 		w.batchesDone++
+		w.wmet.batches.Inc()
+		w.publishObs()
 		return
 	}
+}
+
+// spanCollector turns engine progress events into the worker-run sub-spans
+// shipped back in the complete payload. The engine fires Progress from its
+// worker goroutines, hence the mutex; offsets are relative to collector
+// creation (the batch start the coordinator anchors against).
+type spanCollector struct {
+	mu    sync.Mutex
+	start time.Time
+	open  map[string]int64 // fingerprint -> start offset of the running job
+	spans []WireSpan
+}
+
+func newSpanCollector() *spanCollector {
+	return &spanCollector{start: time.Now(), open: map[string]int64{}}
+}
+
+func (sc *spanCollector) note(ev sweep.Event) {
+	off := time.Since(sc.start).Milliseconds()
+	fp := ev.Job.Fingerprint()
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	switch ev.Type {
+	case sweep.EventStart:
+		sc.open[fp] = off
+	case sweep.EventDone, sweep.EventFail:
+		startOff := sc.open[fp]
+		delete(sc.open, fp)
+		sc.spans = append(sc.spans, WireSpan{
+			Fingerprint: fp,
+			StartOffMS:  startOff,
+			EndOffMS:    off,
+			OK:          ev.Type == sweep.EventDone,
+		})
+	}
+}
+
+// take returns the collected spans (jobs still open — a cut-short batch —
+// are omitted: they produced no record, so there is nothing to anchor).
+func (sc *spanCollector) take() []WireSpan {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.spans
 }
 
 // heartbeatLoop renews the lease until the batch context ends; a rejected

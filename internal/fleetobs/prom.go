@@ -1,0 +1,150 @@
+// Prometheus text exposition for the fleet probe naming scheme. The
+// coordinator registers probes as `fleet.<field>` (fleet-wide) or
+// `fleet.worker.<id>.<field>` (per-worker); this renderer re-expresses them
+// as `fleet_<field>` families with a `worker` label, mirroring the
+// structured-label approach of obs.RenderPrometheus for the simulator's
+// mesh-addressed probes (DESIGN.md §8).
+
+package fleetobs
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"gpgpunoc/internal/telemetry"
+)
+
+type promFamily struct {
+	name    string
+	typ     string
+	help    string
+	samples []promSample
+}
+
+type promSample struct {
+	labels string
+	value  string
+}
+
+type promRenderer struct {
+	byName map[string]*promFamily
+	order  []*promFamily
+}
+
+func (r *promRenderer) add(name, typ, help, labels string, value string) {
+	f, ok := r.byName[name]
+	if !ok {
+		f = &promFamily{name: name, typ: typ, help: help}
+		r.byName[name] = f
+		r.order = append(r.order, f)
+	}
+	f.samples = append(f.samples, promSample{labels: labels, value: value})
+}
+
+// fieldHelp documents the known fleet probe fields; unknown fields get a
+// generic line rather than being dropped.
+var fieldHelp = map[string]string{
+	"submits":           "Sweep submissions accepted by the coordinator.",
+	"jobs":              "Jobs expanded across all sweeps.",
+	"queue_depth":       "Jobs currently waiting for a lease.",
+	"running":           "Jobs currently leased out.",
+	"done":              "Jobs with an accepted result record.",
+	"failed":            "Jobs quarantined as poison.",
+	"leases_granted":    "Leases granted to workers.",
+	"leases_expired":    "Leases that died unrenewed and were reclaimed.",
+	"heartbeats":        "Lease renewals received.",
+	"retries":           "Job attempts beyond the first.",
+	"quarantined":       "Poison-job quarantine events.",
+	"requeued":          "Jobs returned to the queue after a failed attempt.",
+	"store_hits":        "Jobs satisfied from the content-addressed result store.",
+	"store_misses":      "Jobs that missed the result store and must run.",
+	"workers":           "Workers ever registered with the coordinator.",
+	"jobs_done":         "Records accepted from this worker.",
+	"jobs_failed":       "Failed attempts reported by this worker.",
+	"lease_grants":      "Leases ever granted to this worker.",
+	"leases_held":       "Leases this worker currently holds.",
+	"heartbeat_age_ms":  "Milliseconds since this worker was last heard from.",
+	"leases_total":      "Leases this worker has taken.",
+	"batches_total":     "Lease batches this worker has completed.",
+	"jobs_ok_total":     "Jobs this worker ran successfully.",
+	"jobs_failed_total": "Jobs this worker ran that failed.",
+	"busy":              "1 while the worker is running a lease batch, else 0.",
+}
+
+func helpFor(field string) string {
+	if h, ok := fieldHelp[field]; ok {
+		return h
+	}
+	return "Fleet probe " + field + "."
+}
+
+// RenderProm renders a fleet telemetry registry as Prometheus text. Probe
+// names outside the fleet scheme fall back to one `fleet_probe` family so a
+// scrape never silently drops data. Output is deterministic: families
+// sorted by name, samples in probe registration order.
+func RenderProm(reg *telemetry.Registry) []byte {
+	r := &promRenderer{byName: map[string]*promFamily{}}
+	reg.EachScalar(func(name string, kind telemetry.Kind, v int64) {
+		typ := "gauge"
+		suffix := ""
+		if kind == telemetry.KindCounter {
+			typ = "counter"
+			suffix = "_total"
+		}
+		val := strconv.FormatInt(v, 10)
+		if rest, ok := strings.CutPrefix(name, "fleet.worker."); ok {
+			dot := strings.IndexByte(rest, '.')
+			if dot > 0 {
+				worker, field := rest[:dot], rest[dot+1:]
+				fam := "fleet_worker_" + promField(field) + suffix
+				r.add(fam, typ, helpFor(field), labelPair("worker", worker), val)
+				return
+			}
+		}
+		if field, ok := strings.CutPrefix(name, "fleet."); ok && !strings.ContainsRune(field, '.') {
+			r.add("fleet_"+promField(field)+suffix, typ, helpFor(field), "", val)
+			return
+		}
+		r.add("fleet_probe", typ, "Probes outside the fleet naming scheme.",
+			labelPair("name", name), val)
+	})
+
+	sort.Slice(r.order, func(i, j int) bool { return r.order[i].name < r.order[j].name })
+	var buf bytes.Buffer
+	for _, f := range r.order {
+		fmt.Fprintf(&buf, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(&buf, "# TYPE %s %s\n", f.name, f.typ)
+		for _, s := range f.samples {
+			fmt.Fprintf(&buf, "%s%s %s\n", f.name, s.labels, s.value)
+		}
+	}
+	return buf.Bytes()
+}
+
+func labelPair(k, v string) string {
+	esc := v
+	if strings.ContainsAny(v, `"\`+"\n") {
+		esc = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`).Replace(v)
+	}
+	return "{" + k + `="` + esc + `"}`
+}
+
+// promField sanitizes a probe field into a metric-name fragment. Counter
+// fields already ending in _total keep their name (the _total suffix is
+// appended by the caller only once).
+func promField(s string) string {
+	s = strings.TrimSuffix(s, "_total")
+	var b strings.Builder
+	for _, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			b.WriteRune(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

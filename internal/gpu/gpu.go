@@ -11,6 +11,7 @@ import (
 
 	"gpgpunoc/internal/config"
 	"gpgpunoc/internal/core"
+	"gpgpunoc/internal/fleetobs"
 	"gpgpunoc/internal/mc"
 	"gpgpunoc/internal/mesh"
 	"gpgpunoc/internal/noc"
@@ -55,6 +56,19 @@ type Simulator struct {
 	// Driven from Step on the simulation goroutine, so every published
 	// snapshot sees a quiescent kernel.
 	Pub *obs.Publisher
+
+	// Flight, when non-nil (see AttachFlight), is the always-on flight
+	// recorder: a bounded ring of recent cycle-domain events (phase
+	// entries, checkpoints, invariant checks, fast-forward jumps, kernel
+	// pool/retile events) dumped as JSONL post-mortem on panic, invariant
+	// failure, or watchdog trip. Recording never reads wall clock or
+	// scheduler state and never feeds back into simulation, so results
+	// stay bit-identical with it attached.
+	Flight *fleetobs.Recorder
+
+	// FlightDir is where post-mortem dumps land ("" disables dumping; the
+	// ring still records for Result.Flight).
+	FlightDir string
 
 	SMs []*smcore.SM
 	MCs []*mc.MC
@@ -162,7 +176,27 @@ func NewInstrumented(cfg config.Config, prof workload.Profile, inst Instrumentat
 		}
 		s.attachObs(inst.Obs, every)
 	}
+	if inst.FlightRecorder > 0 {
+		s.AttachFlight(inst.FlightRecorder, inst.FlightDir)
+	}
 	return s, nil
+}
+
+// AttachFlight installs the flight recorder retaining the most recent
+// `size` events (rounded up to a power of two), with post-mortem dumps
+// written under dir ("" keeps the ring in memory only). Call once, before
+// the first cycle. Unlike the rest of the observability stack this is also
+// exposed post-construction: benchmarks attach it to an already-built
+// simulator to measure recorder overhead in place.
+func (s *Simulator) AttachFlight(size int, dir string) *fleetobs.Recorder {
+	if s.Flight != nil {
+		panic("gpu: flight recorder attached twice")
+	}
+	r := fleetobs.NewRecorder(size)
+	s.Flight = r
+	s.FlightDir = dir
+	s.Net.SetRecorder(r)
+	return r
 }
 
 // defaultPublishEvery is the snapshot period NewInstrumented uses when an
@@ -188,6 +222,12 @@ type Instrumentation struct {
 	// to the server every PublishEvery cycles (defaulted when <= 0).
 	Obs          *obs.Server
 	PublishEvery int64
+
+	// FlightRecorder > 0 attaches the flight recorder retaining that many
+	// recent events; FlightDir is where post-mortem dumps land ("" keeps
+	// the ring in memory only).
+	FlightRecorder int
+	FlightDir      string
 }
 
 // Close releases the simulator's resources — the interconnect's worker pool
@@ -390,6 +430,7 @@ func (s *Simulator) fastForward(maxSkip int64) int64 {
 		s.Pub.Publish(s.cycle, false)
 	}
 	s.FastForwarded += s.cycle - start
+	s.Flight.Record(s.cycle, fleetobs.KindFastForward, s.cycle-start, s.FastForwarded, 0)
 	return s.cycle - start
 }
 
@@ -412,6 +453,14 @@ type Result struct {
 	// (Instrumentation.Spans); nil otherwise. Its exporters write the span
 	// JSONL log and the Chrome trace-event file.
 	Spans *obs.Spans
+
+	// FastForwarded counts the cycles the run loop jumped over instead of
+	// stepping — part of the job's resource footprint.
+	FastForwarded int64
+
+	// Flight carries the flight recorder when one was attached
+	// (AttachFlight); nil otherwise.
+	Flight *fleetobs.Recorder
 }
 
 // Metrics condenses the run into the flat, JSON-encodable summary the
@@ -433,8 +482,18 @@ func (s *Simulator) Run() Result {
 func (s *Simulator) RunContext(ctx context.Context) (Result, error) {
 	const watchdogWindow = 2048
 	ff := s.Cfg.FastForward
+	if s.Flight != nil {
+		defer func() {
+			if r := recover(); r != nil {
+				s.Flight.Record(s.cycle, fleetobs.KindPanic, 0, 0, 0)
+				s.dumpFlight("panic")
+				panic(r)
+			}
+		}()
+	}
 
 	s.Net.EnableStats(false)
+	s.Flight.Record(s.cycle, fleetobs.KindPhase, 0, 0, 0)
 	for i := 0; i < s.Cfg.WarmupCycles; i++ {
 		s.Step()
 		if err := s.sanitize(); err != nil {
@@ -450,7 +509,9 @@ func (s *Simulator) RunContext(ctx context.Context) (Result, error) {
 			if err := ctx.Err(); err != nil {
 				return s.result(false, int64(i)), err
 			}
+			s.Flight.Record(s.cycle, fleetobs.KindCheckpoint, int64(s.Net.FlitsInFlight()), s.FastForwarded, 0)
 			if s.Net.Quiescent(watchdogWindow) {
+				s.flightWatchdog()
 				return s.result(true, int64(i)), nil
 			}
 		}
@@ -458,6 +519,7 @@ func (s *Simulator) RunContext(ctx context.Context) (Result, error) {
 
 	before := s.gpuTotals()
 	s.Net.EnableStats(true)
+	s.Flight.Record(s.cycle, fleetobs.KindPhase, 1, 0, 0)
 	for i := 0; i < s.Cfg.MeasureCycles; i++ {
 		s.Step()
 		if err := s.sanitize(); err != nil {
@@ -470,7 +532,9 @@ func (s *Simulator) RunContext(ctx context.Context) (Result, error) {
 			if err := ctx.Err(); err != nil {
 				return s.result(false, int64(i)), err
 			}
+			s.Flight.Record(s.cycle, fleetobs.KindCheckpoint, int64(s.Net.FlitsInFlight()), s.FastForwarded, 0)
 			if s.Net.Quiescent(watchdogWindow) {
+				s.flightWatchdog()
 				return s.result(true, int64(i)), nil
 			}
 		}
@@ -491,9 +555,38 @@ func (s *Simulator) sanitize() error {
 		return nil
 	}
 	if err := s.Net.CheckInvariants(); err != nil {
+		s.Flight.Record(s.cycle, fleetobs.KindInvariantFail, 0, 0, 0)
+		if path := s.dumpFlight("invariant"); path != "" {
+			return fmt.Errorf("gpu: sanitizer at cycle %d (flight dump: %s): %w", s.cycle, path, err)
+		}
 		return fmt.Errorf("gpu: sanitizer at cycle %d: %w", s.cycle, err)
 	}
+	s.Flight.Record(s.cycle, fleetobs.KindInvariantOK, 0, 0, 0)
 	return nil
+}
+
+// flightWatchdog records a deadlock-watchdog trip and writes the
+// post-mortem dump; the cycles leading up to a wedge are exactly what the
+// recorder exists to preserve.
+func (s *Simulator) flightWatchdog() {
+	s.Flight.Record(s.cycle, fleetobs.KindWatchdog, int64(s.Net.FlitsInFlight()), 0, 0)
+	s.dumpFlight("watchdog")
+}
+
+// dumpFlight writes the flight recorder's JSONL snapshot under FlightDir,
+// named <benchmark>-s<seed>-<reason>, returning the path ("" when no
+// recorder or dump dir is configured, or on write failure — dumping is
+// post-mortem best-effort and never masks the original failure).
+func (s *Simulator) dumpFlight(reason string) string {
+	if s.Flight == nil || s.FlightDir == "" {
+		return ""
+	}
+	name := fmt.Sprintf("%s-s%d-%s", s.Prof.Name, s.Cfg.Seed, reason)
+	path, err := s.Flight.Dump(s.FlightDir, name, "gpu", reason)
+	if err != nil {
+		return ""
+	}
+	return path
 }
 
 func (s *Simulator) result(deadlocked bool, cycles int64) Result {
@@ -511,14 +604,16 @@ func (s *Simulator) result(deadlocked bool, cycles int64) Result {
 		s.Pub.Publish(s.cycle, true)
 	}
 	return Result{
-		Benchmark:  s.Prof.Name,
-		IPC:        g.IPC(),
-		Cycles:     cycles,
-		Deadlocked: deadlocked,
-		GPU:        g,
-		Net:        st,
-		Tel:        s.Tel,
-		Spans:      s.Spans,
+		Benchmark:     s.Prof.Name,
+		IPC:           g.IPC(),
+		Cycles:        cycles,
+		Deadlocked:    deadlocked,
+		GPU:           g,
+		Net:           st,
+		Tel:           s.Tel,
+		Spans:         s.Spans,
+		FastForwarded: s.FastForwarded,
+		Flight:        s.Flight,
 	}
 }
 
@@ -562,6 +657,12 @@ type RunOptions struct {
 	// it never turns a configured-on value off. Results are bit-identical
 	// either way.
 	FastForward bool
+
+	// FlightRecorder > 0 attaches the flight recorder retaining that many
+	// recent events; FlightDir is where post-mortem dumps land ("" keeps
+	// the ring in memory only). See Instrumentation.
+	FlightRecorder int
+	FlightDir      string
 }
 
 // Run is the one-call runner: build a simulator for cfg and the named
@@ -584,6 +685,8 @@ func Run(ctx context.Context, cfg config.Config, benchmark string, opts RunOptio
 		TelemetryEpoch: opts.TelemetryEpoch,
 		Spans:          opts.Spans,
 		SpanRate:       opts.SpanRate,
+		FlightRecorder: opts.FlightRecorder,
+		FlightDir:      opts.FlightDir,
 	})
 	if err != nil {
 		return Result{}, err

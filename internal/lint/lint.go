@@ -105,6 +105,7 @@ func DefaultConfig(moduleRoot string) Config {
 				"cmd/",
 				"internal/lint/",
 				"internal/fabric/coordinator.go",
+				"internal/fabric/fleet.go",
 				"internal/fabric/server.go",
 				"internal/fabric/worker.go",
 				"internal/obs/progress.go",

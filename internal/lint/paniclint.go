@@ -22,6 +22,12 @@ import (
 // Anything else — panic(err), panic("oops") — is a bare panic: when it fires
 // inside a sweep worker the recovered stack is all the operator gets, so the
 // message must say which subsystem gave up and why.
+//
+// One more shape is exempt: re-panicking a recovered value (`r := recover();
+// ...; panic(r)`). That is the observe-and-rethrow idiom — a deferred hook
+// dumps state and rethrows the original value untouched — and wrapping the
+// value in a prefixed string would destroy exactly what the convention
+// protects.
 const paniclintName = "paniclint"
 
 var Paniclint = &Analyzer{
@@ -43,6 +49,7 @@ func runPaniclint(ctx *Context) []Finding {
 	}
 	var out []Finding
 	for _, file := range pkg.Files {
+		recovered := recoveredVars(pkg, file)
 		ast.Inspect(file, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
 			if !ok {
@@ -61,6 +68,13 @@ func runPaniclint(ctx *Context) []Finding {
 			if len(call.Args) == 1 && prefixedPanicArg(pkg, call.Args[0]) {
 				return true
 			}
+			// panic(r) where r came straight from recover(): the
+			// observe-and-rethrow idiom keeps the original value.
+			if len(call.Args) == 1 {
+				if ident, ok := call.Args[0].(*ast.Ident); ok && recovered[pkg.Info.Uses[ident]] {
+					return true
+				}
+			}
 			out = append(out, Finding{
 				Analyzer: paniclintName,
 				Pos:      pkg.Fset.Position(call.Pos()),
@@ -69,6 +83,39 @@ func runPaniclint(ctx *Context) []Finding {
 			return true
 		})
 	}
+	return out
+}
+
+// recoveredVars collects the objects bound directly from a recover() call —
+// `r := recover()` in a statement or an if-init. Only the initial binding
+// counts: a variable later reassigned to something else keeps its exemption,
+// but that shape does not occur in a deferred rethrow hook and linear
+// tracking is not worth the complexity here.
+func recoveredVars(pkg *Package, file *ast.File) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	ast.Inspect(file, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || len(as.Lhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := call.Fun.(*ast.Ident)
+		if !ok || fn.Name != "recover" {
+			return true
+		}
+		if _, isBuiltin := pkg.Info.Uses[fn].(*types.Builtin); !isBuiltin {
+			return true
+		}
+		if lhs, ok := as.Lhs[0].(*ast.Ident); ok {
+			if obj := pkg.Info.Defs[lhs]; obj != nil {
+				out[obj] = true
+			}
+		}
+		return true
+	})
 	return out
 }
 

@@ -55,6 +55,21 @@ func WrongPrefixShape(n int) {
 	panic(fmt.Sprintf("value %d", n)) // want "bare panic in panicfix"
 }
 
+// Rethrow is the observe-and-rethrow idiom: a deferred hook recovers,
+// records, and re-panics the original value. The repanic must not be
+// flagged — wrapping it in a prefixed string would destroy the value.
+// A panic of a variable NOT bound from recover() stays a bare panic.
+func Rethrow(dump func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			dump()
+			panic(r)
+		}
+	}()
+	notRecovered := errors.New("panicfix: made up")
+	panic(notRecovered) // want "bare panic in panicfix"
+}
+
 // NotTheBuiltin: a local function named panic must not be flagged.
 func NotTheBuiltin() {
 	panic := func(v any) {}

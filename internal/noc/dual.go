@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"gpgpunoc/internal/config"
+	"gpgpunoc/internal/fleetobs"
 	"gpgpunoc/internal/mesh"
 	"gpgpunoc/internal/obs"
 	"gpgpunoc/internal/packet"
@@ -144,6 +145,13 @@ func (d *Dual) AttachTelemetry(reg *telemetry.Registry) {
 func (d *Dual) SetSpans(sp *obs.Spans) {
 	d.request.SetSpans(sp)
 	d.reply.SetSpans(sp)
+}
+
+// SetRecorder installs one flight recorder on both subnets. Step runs the
+// subnets serially, so the single-writer contract holds.
+func (d *Dual) SetRecorder(r *fleetobs.Recorder) {
+	d.request.SetRecorder(r)
+	d.reply.SetRecorder(r)
 }
 
 // StateSnapshot captures both subnets under the "req"/"rep" names. Call

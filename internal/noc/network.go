@@ -36,6 +36,7 @@ import (
 	"fmt"
 
 	"gpgpunoc/internal/config"
+	"gpgpunoc/internal/fleetobs"
 	"gpgpunoc/internal/mesh"
 	"gpgpunoc/internal/obs"
 	"gpgpunoc/internal/packet"
@@ -101,6 +102,11 @@ type Interconnect interface {
 	// tracing; like a nil Tracer, disabled tracing costs one predictable
 	// nil check per probe site).
 	SetSpans(sp *obs.Spans)
+	// SetRecorder installs the flight recorder capturing kernel-structure
+	// events (pool spawn/park, lane retiles). The recorder itself is
+	// nil-receiver safe, so record sites pay one predictable nil check;
+	// recording never influences simulation results.
+	SetRecorder(r *fleetobs.Recorder)
 	// StateSnapshot captures per-link/per-VC occupancy and active-set
 	// sizes. Callers must invoke it only at a cycle boundary (between
 	// Step calls) so the kernel is never read mid-phase.
@@ -216,6 +222,7 @@ type Network struct {
 	tracer   Tracer
 	tel      *telemetry.NetProbes
 	spans    *obs.Spans
+	frec     *fleetobs.Recorder
 	cycle    int64
 	moved    bool
 	lastMove int64
@@ -376,6 +383,7 @@ func (n *Network) Close() {
 	if n.pool != nil {
 		n.pool.stop()
 		n.pool = nil
+		n.frec.Record(n.cycle, fleetobs.KindPool, 0, 0, 0)
 	}
 }
 
@@ -493,6 +501,11 @@ func (n *Network) SetTracer(tr Tracer) { n.tracer = tr }
 // tracing). Probe sites gate on the collector pointer and the packet's
 // Sampled bit, so tracing off costs one branch per site.
 func (n *Network) SetSpans(sp *obs.Spans) { n.spans = sp }
+
+// SetRecorder installs the flight recorder for kernel-structure events
+// (nil, the default, disables recording — and a nil *fleetobs.Recorder is
+// itself a no-op receiver, so record sites need no gate).
+func (n *Network) SetRecorder(r *fleetobs.Recorder) { n.frec = r }
 
 // StateSnapshot captures the fabric's occupancy for the /state endpoint.
 // Call only at a cycle boundary.

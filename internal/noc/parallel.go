@@ -55,6 +55,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"gpgpunoc/internal/fleetobs"
 	"gpgpunoc/internal/packet"
 	"gpgpunoc/internal/stats"
 )
@@ -432,6 +433,7 @@ func (p *workerPool) stop() {
 func (n *Network) stepParallel() {
 	if n.pool == nil {
 		n.pool = newWorkerPool(n)
+		n.frec.Record(n.cycle, fleetobs.KindPool, int64(n.pool.workers), 0, 0)
 	}
 	p := n.pool
 	p.release()

@@ -19,6 +19,8 @@ package noc
 // may retile differently — which is fine, because partitioning cannot
 // affect results in the first place.
 
+import "gpgpunoc/internal/fleetobs"
+
 // rebalanceLanes retiles the row-stripe boundaries so each lane carries a
 // near-equal share of the current load. Called from the serial tail at
 // epoch boundaries; the next barrier release publishes the new tiling to
@@ -124,4 +126,5 @@ func (n *Network) rebalanceLanes() {
 		ln.injActive = append(ln.injActive, id) //noclint:hotpath amortized: injActive keeps its backing array across retiles
 	}
 	n.setScratch = act[:0]
+	n.frec.Record(n.cycle, fleetobs.KindRetile, int64(d), int64(n.laneBounds[1]), 0)
 }

@@ -48,6 +48,16 @@ func SimulateInstrumented(sanitizeEvery int, telemetryEpoch int64) RunFunc {
 	}
 }
 
+// SimulateOpts returns a RunFunc running the full simulation with the given
+// gpu.RunOptions verbatim — the general form the specialized Simulate*
+// constructors cover common cases of. The CLI uses it to thread the flight
+// recorder and sanitizer through one options value.
+func SimulateOpts(opts gpu.RunOptions) RunFunc {
+	return func(ctx context.Context, j Job) (gpu.Result, error) {
+		return gpu.Run(ctx, j.Cfg, j.Benchmark, opts)
+	}
+}
+
 // Options tune one engine run.
 type Options struct {
 	// Workers bounds concurrent jobs; 0 means GOMAXPROCS.
@@ -200,6 +210,7 @@ func Run(ctx context.Context, jobs []Job, sink Sink, opts Options) ([]Outcome, e
 				if opts.Timeout > 0 {
 					jctx, jcancel = context.WithTimeout(sinkCtx, opts.Timeout)
 				}
+				allocBefore := totalAllocBytes()
 				start := time.Now()
 				res, err := runShielded(jctx, runFn, j)
 				elapsed := time.Since(start)
@@ -215,6 +226,18 @@ func Run(ctx context.Context, jobs []Job, sink Sink, opts Options) ([]Outcome, e
 
 				o := Outcome{Job: j, Record: rec}
 				ev := Event{Job: j, Index: i, Total: len(jobs), Elapsed: elapsed}
+				// The execution footprint is stamped on ran jobs (ok and
+				// failed, never skips). AllocBytes is the process-wide
+				// allocation delta across the job — exact at Workers=1, an
+				// upper-bound approximation when jobs overlap. Attempt
+				// starts at 1; the fabric coordinator overwrites Worker and
+				// Attempt with fleet-level attribution when it accepts the
+				// record.
+				o.Record.Exec = &Exec{
+					WallMS:     elapsed.Milliseconds(),
+					AllocBytes: int64(totalAllocBytes() - allocBefore),
+					Attempt:    1,
+				}
 				if err != nil {
 					o.Record.Status = StatusFailed
 					o.Record.Error = err.Error()
@@ -225,6 +248,8 @@ func Run(ctx context.Context, jobs []Job, sink Sink, opts Options) ([]Outcome, e
 					r := res
 					o.Record.Status = StatusOK
 					o.Record.Deadlocked = r.Deadlocked
+					o.Record.Exec.Cycles = r.Cycles
+					o.Record.Exec.FFCycles = r.FastForwarded
 					m := r.Metrics()
 					o.Record.Metrics = &m
 					o.Res = &r
@@ -292,6 +317,16 @@ func writeJobTelemetry(dir, fingerprint string, r *gpu.Result) error {
 		return err
 	}
 	return h.Close()
+}
+
+// totalAllocBytes reads the process's cumulative heap allocation. The
+// engine differences it around each job for the Exec footprint;
+// ReadMemStats costs a brief stop-the-world, negligible against a
+// simulation job but worth knowing about.
+func totalAllocBytes() uint64 {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return m.TotalAlloc
 }
 
 // runShielded invokes fn with panic recovery: a panicking job reports as a

@@ -49,6 +49,38 @@ type Record struct {
 	Error      string         `json:"error,omitempty"`
 	Deadlocked bool           `json:"deadlocked,omitempty"`
 	Metrics    *stats.Metrics `json:"metrics,omitempty"`
+
+	// Exec is the job's execution footprint — wall time, cycles actually
+	// stepped vs fast-forwarded, allocation cost, and (under the fabric)
+	// which worker ran it on which attempt. It describes the run, not the
+	// experiment: two executions of the same job produce the same record
+	// apart from Exec, so every identity comparison (resume, golden tests,
+	// cross-mode equivalence) uses the canonical form with Exec stripped.
+	Exec *Exec `json:"exec,omitempty"`
+}
+
+// Exec is a record's execution footprint. Kept flat — scalar fields only,
+// no nested objects or free-form strings beyond the worker name — so
+// canonicalization (stripping the "exec" member from an encoded record)
+// stays a trivial transformation. WallMS has no omitempty: an Exec present
+// on a record always encodes at least one member.
+type Exec struct {
+	WallMS     int64  `json:"wall_ms"`
+	Cycles     int64  `json:"cycles,omitempty"`
+	FFCycles   int64  `json:"ff_cycles,omitempty"`
+	AllocBytes int64  `json:"alloc_bytes,omitempty"`
+	Worker     string `json:"worker,omitempty"`
+	Attempt    int    `json:"attempt,omitempty"`
+}
+
+// Canonical returns the record's identity form: Exec stripped. Execution
+// metadata varies run to run (wall time, worker placement, attempt number)
+// while the canonical form is a pure function of the job and its simulated
+// outcome — so byte comparisons of results across modes, machines, and
+// retries compare canonical forms.
+func (r Record) Canonical() Record {
+	r.Exec = nil
+	return r
 }
 
 // Fingerprint identifies the job's exact (benchmark, configuration) pair:

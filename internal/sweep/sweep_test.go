@@ -3,6 +3,7 @@ package sweep
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"os"
@@ -604,7 +605,23 @@ func TestRunDeterministic(t *testing.T) {
 		if _, err := Run(context.Background(), jobs, NewJSONL(&buf), Options{Workers: 4}); err != nil {
 			t.Fatal(err)
 		}
-		ls := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+		// Compare canonical forms: Exec carries wall time and alloc cost,
+		// which legitimately differ run to run (see Record.Canonical).
+		recs, err := ReadRecords(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ls := make([]string, 0, len(recs))
+		for _, rec := range recs {
+			if rec.Exec == nil {
+				t.Errorf("record %s has no exec footprint", rec.Fingerprint)
+			}
+			b, err := json.Marshal(rec.Canonical())
+			if err != nil {
+				t.Fatal(err)
+			}
+			ls = append(ls, string(b))
+		}
 		sort.Strings(ls)
 		return ls
 	}
